@@ -1,0 +1,88 @@
+// Ablation (Section 3.1): cumulative vs non-cumulative updates.
+// "Cumulative update is an optimization that is intended to improve
+// the read performance" at the cost of copying carried columns on
+// writes. We update two columns of hot records repeatedly, then
+// measure point reads of both columns (which must walk further in the
+// non-cumulative chain) and the update throughput.
+
+#include "bench_common.h"
+#include "core/table.h"
+
+using namespace lstore::bench;
+using namespace lstore;
+
+namespace {
+
+double MeasureReads(Table& table, uint64_t rows, int iters) {
+  std::vector<Value> out;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    Transaction txn = table.Begin();
+    (void)table.Read(&txn, i % rows, 0b0110, &out);
+    (void)table.Commit(&txn);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: cumulative vs non-cumulative updates (Section 3.1)",
+              "cumulation trades write-side copying for shorter read chains; "
+              "reads win, writes pay slightly");
+
+  constexpr uint64_t kRows = 512;
+  constexpr int kUpdateRounds = 40;
+
+  std::printf("\n%-18s %18s %20s %14s\n", "mode", "read latency (us)",
+              "updates/s (1 thread)", "chain hops");
+  for (bool cumulative : {true, false}) {
+    TableConfig tc;
+    tc.range_size = 1u << 12;
+    tc.merge_threshold = 1u << 30;  // no merges: isolate chain effects
+    tc.enable_merge_thread = false;
+    tc.cumulative_updates = cumulative;
+    Table table("abl", Schema(11), tc);
+    {
+      Transaction txn = table.Begin();
+      std::vector<Value> row(11, 1);
+      for (Value k = 0; k < kRows; ++k) {
+        row[0] = k;
+        (void)table.Insert(&txn, row);
+      }
+      (void)table.Commit(&txn);
+    }
+    // Alternate updates of columns 1 and 2 so the latest version of
+    // each column lands in different tail records without cumulation.
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t updates = 0;
+    for (int round = 0; round < kUpdateRounds; ++round) {
+      for (Value k = 0; k < kRows; ++k) {
+        Transaction txn = table.Begin();
+        std::vector<Value> row(11, 0);
+        ColumnMask mask = (round % 2 == 0) ? 0b0010 : 0b0100;
+        row[1] = row[2] = round;
+        if (table.Update(&txn, k, mask, row).ok()) {
+          (void)table.Commit(&txn);
+          ++updates;
+        } else {
+          table.Abort(&txn);
+        }
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double upd_per_s =
+        updates / std::chrono::duration<double>(t1 - t0).count();
+
+    uint64_t hops_before = table.stats().tail_chain_hops.load();
+    double read_us = MeasureReads(table, kRows, 2000);
+    uint64_t hops = table.stats().tail_chain_hops.load() - hops_before;
+
+    std::printf("%-18s %18.2f %20.0f %14.2f\n",
+                cumulative ? "cumulative" : "non-cumulative", read_us,
+                upd_per_s, hops / 2000.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the per-figure/table benchmark drivers.
+//
+// Every binary prints (a) the machine-independent configuration it
+// ran with, (b) rows mirroring the paper's figure/table, and (c) the
+// paper's qualitative expectation, so EXPERIMENTS.md can be filled in
+// by inspection. Sizes scale with LSTORE_BENCH_SCALE and durations
+// with LSTORE_BENCH_MS (see src/bench_harness/workload.h).
+
+#ifndef LSTORE_BENCH_BENCH_COMMON_H_
+#define LSTORE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_harness/engines.h"
+#include "bench_harness/runner.h"
+#include "bench_harness/workload.h"
+
+namespace lstore {
+namespace bench {
+
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper expectation: %s\n", paper_claim);
+  std::printf("scale=%llu rows (low contention), duration=%llu ms/point, "
+              "max threads=%u\n",
+              static_cast<unsigned long long>(EnvScale()),
+              static_cast<unsigned long long>(EnvDurationMs()),
+              EnvMaxThreads());
+  std::printf("==============================================================\n");
+}
+
+/// Thread counts for scalability sweeps, bounded by the env cap.
+inline std::vector<uint32_t> ThreadPoints() {
+  uint32_t cap = EnvMaxThreads();
+  std::vector<uint32_t> pts;
+  for (uint32_t t : {1u, 2u, 4u, 8u, 16u, 22u}) {
+    if (t <= cap) pts.push_back(t);
+  }
+  if (pts.empty()) pts.push_back(1);
+  return pts;
+}
+
+/// Build + load an engine for a workload.
+inline std::unique_ptr<Engine> LoadedEngine(EngineKind kind,
+                                            const WorkloadConfig& cfg) {
+  auto engine = MakeEngine(kind, cfg);
+  engine->Load(cfg.table_rows);
+  return engine;
+}
+
+}  // namespace bench
+}  // namespace lstore
+
+#endif  // LSTORE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Figure 7: transaction throughput vs. number of parallel short update
+// transactions, under low (a), medium (b), and high (c) contention.
+// Engines: L-Store, In-place Update + History, Delta + Blocking Merge.
+// One scan thread and the engines' merge threads run throughout
+// (Section 6.1).
+
+#include "bench_common.h"
+
+using namespace lstore::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 7: scalability under varying contention",
+      "low: L-Store ~ IUH scale, DBM flat; medium: L-Store up to 5.09x IUH, "
+      "8.54x DBM; high: up to 40.56x IUH, 14.51x DBM");
+
+  const Contention levels[] = {Contention::kLow, Contention::kMedium,
+                               Contention::kHigh};
+  const EngineKind kinds[] = {EngineKind::kLStore, EngineKind::kIuh,
+                              EngineKind::kDbm};
+  auto threads = ThreadPoints();
+
+  for (Contention c : levels) {
+    WorkloadConfig cfg;
+    cfg.contention = c;
+    cfg.Finalize();
+    std::printf("\n--- Fig 7(%c): %s contention (active set %llu of %llu "
+                "rows) ---\n",
+                c == Contention::kLow ? 'a'
+                : c == Contention::kMedium ? 'b' : 'c',
+                ContentionName(c).c_str(),
+                static_cast<unsigned long long>(cfg.active_set),
+                static_cast<unsigned long long>(cfg.table_rows));
+    std::printf("%-28s", "engine \\ update threads");
+    for (uint32_t t : threads) std::printf(" %10u", t);
+    std::printf("   (K txns/s)\n");
+
+    for (EngineKind k : kinds) {
+      auto engine = LoadedEngine(k, cfg);
+      std::printf("%-28s", EngineName(k).c_str());
+      for (uint32_t t : threads) {
+        RunResult res = RunMixed(*engine, cfg, t, /*scan_threads=*/1);
+        std::printf(" %10.1f", res.update_txns_per_sec / 1000.0);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

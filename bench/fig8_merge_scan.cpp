@@ -1,0 +1,47 @@
+// Figure 8: single-threaded scan execution time vs. the number of tail
+// records processed per merge (M), with 4 and 16 concurrent update
+// threads and one dedicated merge thread. Range partitioning fixed.
+//
+// Paper: scan time drops as M grows (the merge keeps up and scans
+// rarely chase tails), with slight deterioration when the merge is
+// delayed too long; the sweet spot is M ~ 50% of the range size.
+
+#include "bench_common.h"
+
+using namespace lstore::bench;
+
+int main() {
+  PrintHeader("Figure 8: scan performance vs merge batch size M",
+              "scan time decreases with M, optimum near 50% of range size; "
+              "merge keeps up with concurrent updaters");
+
+  WorkloadConfig base;
+  base.contention = Contention::kLow;
+  base.range_size = 1u << 12;  // 4K records per range
+  base.Finalize();
+
+  const uint32_t kRange = base.range_size;
+  std::vector<uint32_t> merge_batches = {kRange / 16, kRange / 8, kRange / 4,
+                                         kRange / 2, kRange};
+  uint32_t writer_counts[] = {4, 16};
+  uint32_t cap = EnvMaxThreads();
+
+  std::printf("\n%-24s", "update threads \\ M");
+  for (uint32_t m : merge_batches) std::printf(" %9u", m);
+  std::printf("   (scan seconds)\n");
+
+  for (uint32_t writers : writer_counts) {
+    uint32_t w = std::min(writers, cap);
+    std::printf("%-24u", w);
+    for (uint32_t m : merge_batches) {
+      WorkloadConfig cfg = base;
+      cfg.merge_threshold = m;
+      auto engine = LoadedEngine(EngineKind::kLStore, cfg);
+      double secs = TimeScanUnderUpdates(*engine, cfg, w, /*repeats=*/3);
+      std::printf(" %9.4f", secs);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 9: transaction throughput vs. percentage of reads in short
+// update transactions (0% .. 100%), 16 update threads, low (a) and
+// medium (b) contention.
+//
+// Paper: all engines improve as reads grow (contention is a function
+// of writes); L-Store leads by up to 1.45x/5.78x (low) and
+// 4.19x/6.34x (medium) over IUH/DBM; the gap is smallest at 100%
+// reads.
+
+#include "bench_common.h"
+
+using namespace lstore::bench;
+
+int main() {
+  PrintHeader("Figure 9: impact of the read/write ratio",
+              "throughput rises with read share; L-Store leads, gap narrows "
+              "at 100% reads");
+
+  const Contention levels[] = {Contention::kLow, Contention::kMedium};
+  const EngineKind kinds[] = {EngineKind::kLStore, EngineKind::kIuh,
+                              EngineKind::kDbm};
+  const uint32_t read_pcts[] = {0, 20, 40, 60, 80, 100};
+  uint32_t threads = std::min(16u, EnvMaxThreads());
+
+  for (Contention c : levels) {
+    WorkloadConfig base;
+    base.contention = c;
+    base.Finalize();
+    std::printf("\n--- Fig 9(%c): %s contention, %u update threads ---\n",
+                c == Contention::kLow ? 'a' : 'b',
+                ContentionName(c).c_str(), threads);
+    std::printf("%-28s", "engine \\ read %");
+    for (uint32_t p : read_pcts) std::printf(" %9u", p);
+    std::printf("   (K txns/s)\n");
+
+    for (EngineKind k : kinds) {
+      auto engine = LoadedEngine(k, base);
+      std::printf("%-28s", EngineName(k).c_str());
+      for (uint32_t pct : read_pcts) {
+        WorkloadConfig cfg = base;
+        // 10 statements per txn, `pct` percent of them reads.
+        cfg.reads_per_txn = pct / 10;
+        cfg.writes_per_txn = 10 - cfg.reads_per_txn;
+        RunResult res = RunMixed(*engine, cfg, threads, /*scan_threads=*/1);
+        std::printf(" %9.1f", res.update_txns_per_sec / 1000.0);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

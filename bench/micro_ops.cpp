@@ -1,0 +1,178 @@
+// Google-benchmark micro benchmarks of the primitive operations:
+// insert, point read (merged / tail-resident), update, merge, scan
+// fast path, and codec throughput. These are the building blocks the
+// paper's end-to-end numbers decompose into.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/table.h"
+#include "storage/compressed_column.h"
+#include "storage/compression/delta.h"
+
+namespace {
+
+using namespace lstore;
+
+TableConfig BenchConfig() {
+  TableConfig cfg;
+  cfg.range_size = 1u << 12;
+  cfg.insert_range_size = 1u << 12;
+  cfg.merge_threshold = 1u << 11;
+  cfg.enable_merge_thread = false;
+  return cfg;
+}
+
+std::unique_ptr<Table> MakeLoadedTable(uint64_t rows, bool merged) {
+  auto table = std::make_unique<Table>("b", Schema(11), BenchConfig());
+  Transaction txn = table->Begin();
+  std::vector<Value> row(11);
+  for (Value k = 0; k < rows; ++k) {
+    row[0] = k;
+    for (int c = 1; c < 11; ++c) row[c] = k + c;
+    (void)table->Insert(&txn, row);
+  }
+  (void)table->Commit(&txn);
+  if (merged) table->FlushAll();
+  return table;
+}
+
+void BM_Insert(benchmark::State& state) {
+  auto table = std::make_unique<Table>("b", Schema(11), BenchConfig());
+  std::vector<Value> row(11, 1);
+  Value key = 0;
+  for (auto _ : state) {
+    row[0] = key++;
+    Transaction txn = table->Begin();
+    benchmark::DoNotOptimize(table->Insert(&txn, row));
+    (void)table->Commit(&txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Insert);
+
+void BM_PointReadMergedBase(benchmark::State& state) {
+  auto table = MakeLoadedTable(1u << 12, /*merged=*/true);
+  Random rng(1);
+  std::vector<Value> out;
+  for (auto _ : state) {
+    Transaction txn = table->Begin();
+    benchmark::DoNotOptimize(
+        table->Read(&txn, rng.Uniform(1u << 12), 0b0110, &out));
+    (void)table->Commit(&txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointReadMergedBase);
+
+void BM_PointReadTailResident(benchmark::State& state) {
+  auto table = MakeLoadedTable(1u << 12, /*merged=*/true);
+  Random rng(2);
+  // Touch every record once so reads chase one tail hop.
+  for (Value k = 0; k < (1u << 12); ++k) {
+    Transaction txn = table->Begin();
+    std::vector<Value> row(11, 0);
+    row[1] = k;
+    (void)table->Update(&txn, k, 0b0010, row);
+    (void)table->Commit(&txn);
+  }
+  std::vector<Value> out;
+  for (auto _ : state) {
+    Transaction txn = table->Begin();
+    benchmark::DoNotOptimize(
+        table->Read(&txn, rng.Uniform(1u << 12), 0b0010, &out));
+    (void)table->Commit(&txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointReadTailResident);
+
+void BM_Update(benchmark::State& state) {
+  auto table = MakeLoadedTable(1u << 12, /*merged=*/true);
+  Random rng(3);
+  std::vector<Value> row(11, 7);
+  for (auto _ : state) {
+    Transaction txn = table->Begin();
+    benchmark::DoNotOptimize(
+        table->Update(&txn, rng.Uniform(1u << 12), 0b0010, row));
+    (void)table->Commit(&txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Update);
+
+void BM_UpdateFourColumns(benchmark::State& state) {
+  // The paper's workload updates ~40% of columns per write.
+  auto table = MakeLoadedTable(1u << 12, /*merged=*/true);
+  Random rng(4);
+  std::vector<Value> row(11, 7);
+  for (auto _ : state) {
+    Transaction txn = table->Begin();
+    benchmark::DoNotOptimize(
+        table->Update(&txn, rng.Uniform(1u << 12), 0b11110, row));
+    (void)table->Commit(&txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateFourColumns);
+
+void BM_MergeRange(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto table = MakeLoadedTable(1u << 12, /*merged=*/true);
+    Random rng(5);
+    std::vector<Value> row(11, 9);
+    for (int i = 0; i < 2048; ++i) {
+      Transaction txn = table->Begin();
+      (void)table->Update(&txn, rng.Uniform(1u << 12), 0b0010, row);
+      (void)table->Commit(&txn);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(table->MergeRangeNow(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_MergeRange)->Unit(benchmark::kMillisecond);
+
+void BM_ScanMerged(benchmark::State& state) {
+  auto table = MakeLoadedTable(1u << 14, /*merged=*/true);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    Timestamp now = table->txn_manager().clock().Tick();
+    (void)table->SumColumnRange(1, now, 0, 1u << 14, &sum);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * (1u << 14));
+}
+BENCHMARK(BM_ScanMerged);
+
+void BM_DeltaEncodeDecode(benchmark::State& state) {
+  std::vector<Value> vals;
+  for (uint64_t i = 0; i < 4096; ++i) vals.push_back(1000000 + i * 3);
+  for (auto _ : state) {
+    std::string buf;
+    DeltaEncode(vals, &buf);
+    std::vector<Value> out;
+    (void)DeltaDecode(buf, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * vals.size());
+}
+BENCHMARK(BM_DeltaEncodeDecode);
+
+void BM_CompressedColumnGet(benchmark::State& state) {
+  Random rng(6);
+  std::vector<Value> vals;
+  for (int i = 0; i < 4096; ++i) vals.push_back(rng.Uniform(16));
+  auto col = CompressedColumn::Build(vals, true);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(col->Get(i++ & 4095));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompressedColumnGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Table 9: point-query throughput vs. the percentage of columns each
+// read fetches (10% .. 100%), L-Store (Column) vs L-Store (Row).
+// Transactions of 10 point reads on a 10-column table.
+//
+// Paper: columnar matches row at 10-20% of columns, degrades as more
+// columns are fetched, worst case -33% when all columns are read;
+// row stays flat (~1.45 M txns/s on their hardware).
+
+#include "bench_common.h"
+
+using namespace lstore::bench;
+
+int main() {
+  PrintHeader("Table 9: point queries vs % of columns read",
+              "columnar ~ row at 10-20% of columns; columnar drops ~33% in "
+              "the all-columns worst case; row flat");
+
+  WorkloadConfig cfg;
+  cfg.contention = Contention::kLow;
+  cfg.Finalize();
+  uint32_t threads = std::min(4u, EnvMaxThreads());
+
+  const uint32_t col_counts[] = {1, 2, 4, 8, 10};  // of 10 data columns
+  std::printf("\n%-20s", "layout \\ %cols");
+  for (uint32_t c : col_counts) std::printf(" %9u%%", c * 10);
+  std::printf("   (K txns/s, %u threads, 10 reads/txn)\n", threads);
+
+  const EngineKind kinds[] = {EngineKind::kLStore, EngineKind::kLStoreRow};
+  for (EngineKind k : kinds) {
+    auto engine = LoadedEngine(k, cfg);
+    std::printf("%-20s", k == EngineKind::kLStore ? "L-Store (Column)"
+                                                  : "L-Store (Row)");
+    for (uint32_t ncols : col_counts) {
+      // Fetch the first `ncols` data columns (columns 1..ncols).
+      uint64_t mask = 0;
+      for (uint32_t c = 1; c <= ncols; ++c) mask |= 1ull << c;
+      double tps = RunPointReads(*engine, cfg, threads, /*reads=*/10, mask);
+      std::printf(" %10.1f", tps / 1000.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Historic data management: every update is retained (Section 2.1
+// "querying and retaining the current and historic data"), merged tail
+// pages are delta-compressed into the historic store (Section 4.3),
+// and time-travel queries reconstruct any past snapshot — including
+// across merges and compression, and after a crash via the redo log.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+
+using namespace lstore;
+
+int main() {
+  std::string log_path = "/tmp/lstore_time_travel.log";
+  std::remove(log_path.c_str());
+
+  TableConfig config;
+  config.range_size = 256;
+  config.merge_threshold = 64;
+  config.enable_merge_thread = false;
+  config.enable_logging = true;
+  config.log_path = log_path;
+
+  std::vector<Timestamp> checkpoints;
+  {
+    Table inventory("inventory", Schema({"sku", "stock", "price_cents"}),
+                    config);
+    // Seed and evolve the data through four "days".
+    Transaction txn = inventory.Begin();
+    for (Value sku = 0; sku < 200; ++sku) {
+      inventory.Insert(&txn, {sku, 100, 999});
+    }
+    inventory.Commit(&txn);
+
+    for (int day = 0; day < 4; ++day) {
+      checkpoints.push_back(inventory.txn_manager().clock().Tick());
+      Transaction t = inventory.Begin();
+      for (Value sku = 0; sku < 200; sku += 4) {
+        // Sell stock and reprice.
+        inventory.Update(&t, sku, 0b110,
+                         {0, Value(100 - (day + 1) * 10),
+                          Value(999 + (day + 1) * 50)});
+      }
+      inventory.Commit(&t);
+      // Consolidate + compress history as days pass.
+      inventory.FlushAll();
+      inventory.CompressHistoricNow(0);
+      inventory.epochs().TryReclaim();
+    }
+    checkpoints.push_back(inventory.txn_manager().clock().Tick());
+
+    std::printf("SKU 0 stock by day (merged + historic-compressed):\n");
+    for (size_t day = 0; day < checkpoints.size(); ++day) {
+      std::vector<Value> row;
+      if (inventory.ReadAsOf(0, checkpoints[day], 0b110, &row).ok()) {
+        std::printf("  day %zu: stock=%llu price=%llu\n", day,
+                    static_cast<unsigned long long>(row[1]),
+                    static_cast<unsigned long long>(row[2]));
+      }
+    }
+    std::printf("historic compressions: %llu\n",
+                static_cast<unsigned long long>(
+                    inventory.stats().historic_compressions.load()));
+    // Table destructs here = clean shutdown. Now simulate restart.
+  }
+
+  std::printf("\nrestarting from the redo log (%s)...\n", log_path.c_str());
+  Table recovered("inventory", Schema({"sku", "stock", "price_cents"}),
+                  config);
+  Status s = recovered.RecoverFromLog();
+  if (!s.ok()) {
+    std::printf("recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("recovered %llu rows; history still queryable:\n",
+              static_cast<unsigned long long>(recovered.num_rows()));
+  for (size_t day = 0; day < checkpoints.size(); ++day) {
+    std::vector<Value> row;
+    if (recovered.ReadAsOf(0, checkpoints[day], 0b010, &row).ok()) {
+      std::printf("  day %zu: stock=%llu\n", day,
+                  static_cast<unsigned long long>(row[1]));
+    }
+  }
+  std::remove(log_path.c_str());
+  std::printf("time-travel example done.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "bench_harness/engines.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+
+namespace lstore {
+namespace bench {
+
+std::string EngineName(EngineKind k) {
+  switch (k) {
+    case EngineKind::kLStore: return "L-Store";
+    case EngineKind::kLStoreRow: return "L-Store (Row)";
+    case EngineKind::kIuh: return "In-place Update + History";
+    case EngineKind::kDbm: return "Delta + Blocking Merge";
+  }
+  return "?";
+}
+
+namespace {
+
+TableConfig MakeTableConfig(const WorkloadConfig& cfg) {
+  TableConfig tc;
+  tc.range_size = cfg.range_size;
+  tc.merge_threshold = cfg.merge_threshold;
+  tc.insert_range_size = cfg.range_size;
+  tc.enable_merge_thread = true;
+  tc.enable_logging = false;  // Section 6.1: logging off for all systems
+  return tc;
+}
+
+/// Deterministic cell value so scans are verifiable.
+Value CellValue(uint64_t key, ColumnId c) { return key * 7 + c; }
+
+/// Pick `count` distinct non-key columns as an update mask.
+ColumnMask PickColumns(Random& rng, uint32_t num_columns, uint32_t count) {
+  ColumnMask mask = 0;
+  uint32_t chosen = 0;
+  while (chosen < count) {
+    uint32_t c = 1 + static_cast<uint32_t>(rng.Uniform(num_columns - 1));
+    ColumnMask bit = 1ull << c;
+    if ((mask & bit) == 0) {
+      mask |= bit;
+      ++chosen;
+    }
+  }
+  return mask;
+}
+
+template <typename TableT>
+class EngineBase : public Engine {
+ public:
+  EngineBase(EngineKind kind, const WorkloadConfig& cfg)
+      : kind_(kind),
+        cfg_(cfg),
+        ncols_(cfg.num_columns + 1),  // +key column
+        table_(Schema(cfg.num_columns + 1), MakeTableConfig(cfg)) {}
+
+  EngineKind kind() const override { return kind_; }
+  uint64_t num_rows() const override { return table_.num_rows(); }
+
+  void Load(uint64_t n) override {
+    std::vector<Value> row(ncols_);
+    const uint64_t batch = 10000;
+    for (uint64_t k = 0; k < n;) {
+      Transaction txn = table_.Begin(IsolationLevel::kReadCommitted);
+      uint64_t end = std::min(n, k + batch);
+      for (; k < end; ++k) {
+        row[0] = k;
+        for (ColumnId c = 1; c < ncols_; ++c) row[c] = CellValue(k, c);
+        (void)table_.Insert(&txn, row);
+      }
+      (void)table_.Commit(&txn);
+    }
+    Settle();
+  }
+
+  bool UpdateTxn(Random& rng, const WorkloadConfig& cfg) override {
+    Transaction txn = table_.Begin(IsolationLevel::kReadCommitted);
+    std::vector<Value> out;
+    std::vector<Value> row(ncols_, 0);
+    uint32_t write_cols =
+        std::max<uint32_t>(1, cfg.num_columns * cfg.update_column_pct / 100);
+    for (uint32_t i = 0; i < cfg.reads_per_txn; ++i) {
+      Value key = rng.Uniform(cfg.active_set);
+      ColumnMask mask = PickColumns(rng, ncols_, 2);
+      Status s = table_.Read(&txn, key, mask, &out);
+      if (s.IsAborted()) {
+        table_.Abort(&txn);
+        return false;
+      }
+    }
+    for (uint32_t i = 0; i < cfg.writes_per_txn; ++i) {
+      Value key = rng.Uniform(cfg.active_set);
+      ColumnMask mask = PickColumns(rng, ncols_, write_cols);
+      for (BitIter it(mask); it; ++it) row[*it] = rng.Next() % 1000000;
+      Status s = table_.Update(&txn, key, mask, row);
+      if (!s.ok()) {
+        table_.Abort(&txn);
+        return false;
+      }
+    }
+    return table_.Commit(&txn).ok();
+  }
+
+  bool PointReadTxn(Random& rng, const WorkloadConfig& cfg, uint32_t reads,
+                    uint64_t cols_mask) override {
+    Transaction txn = table_.Begin(IsolationLevel::kReadCommitted);
+    std::vector<Value> out;
+    for (uint32_t i = 0; i < reads; ++i) {
+      Value key = rng.Uniform(cfg.active_set);
+      Status s = table_.Read(&txn, key, cols_mask, &out);
+      if (s.IsAborted()) {
+        table_.Abort(&txn);
+        return false;
+      }
+    }
+    return table_.Commit(&txn).ok();
+  }
+
+  uint64_t ReadTimestamp() override {
+    return table_.txn_manager().clock().Tick();
+  }
+
+  TableT& table() { return table_; }
+
+ protected:
+  void Settle() {}
+
+  EngineKind kind_;
+  WorkloadConfig cfg_;
+  uint32_t ncols_;
+  TableT table_;
+};
+
+class LStoreEngine : public EngineBase<Table> {
+ public:
+  LStoreEngine(const WorkloadConfig& cfg)
+      : EngineBase(EngineKind::kLStore, cfg) {}
+
+  void Load(uint64_t n) override {
+    EngineBase::Load(n);
+    table_.FlushAll();
+    table_.WaitForMergeQueue();
+  }
+
+  uint64_t ScanSum() override {
+    uint64_t sum = 0;
+    (void)table_.SumColumnRange(1, ReadTimestamp(), 0, table_.num_rows(),
+                                &sum);
+    return sum;
+  }
+};
+
+class RowEngine : public EngineBase<RowTable> {
+ public:
+  RowEngine(const WorkloadConfig& cfg)
+      : EngineBase(EngineKind::kLStoreRow, cfg) {}
+
+  uint64_t ScanSum() override {
+    uint64_t sum = 0;
+    (void)table_.SumColumn(1, ReadTimestamp(), &sum);
+    return sum;
+  }
+};
+
+class IuhEngine : public EngineBase<IuhTable> {
+ public:
+  IuhEngine(const WorkloadConfig& cfg) : EngineBase(EngineKind::kIuh, cfg) {}
+
+  uint64_t ScanSum() override {
+    uint64_t sum = 0;
+    (void)table_.SumColumn(1, ReadTimestamp(), &sum);
+    return sum;
+  }
+};
+
+class DbmEngine : public EngineBase<DbmTable> {
+ public:
+  DbmEngine(const WorkloadConfig& cfg) : EngineBase(EngineKind::kDbm, cfg) {}
+
+  uint64_t ScanSum() override {
+    uint64_t sum = 0;
+    (void)table_.SumColumn(1, ReadTimestamp(), &sum);
+    return sum;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind,
+                                   const WorkloadConfig& cfg) {
+  switch (kind) {
+    case EngineKind::kLStore: return std::make_unique<LStoreEngine>(cfg);
+    case EngineKind::kLStoreRow: return std::make_unique<RowEngine>(cfg);
+    case EngineKind::kIuh: return std::make_unique<IuhEngine>(cfg);
+    case EngineKind::kDbm: return std::make_unique<DbmEngine>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace bench
+}  // namespace lstore

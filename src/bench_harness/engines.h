@@ -1,0 +1,63 @@
+// Uniform engine adapter so the benchmark harness can drive L-Store
+// (column and row variants), In-place Update + History, and
+// Delta + Blocking Merge through one interface (Section 6.1: "for
+// fairness, across all techniques, we have maintained columnar
+// storage, a single primary index, and the embedded indirection").
+
+#ifndef LSTORE_BENCH_HARNESS_ENGINES_H_
+#define LSTORE_BENCH_HARNESS_ENGINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dbm/dbm_table.h"
+#include "baselines/iuh/iuh_table.h"
+#include "bench_harness/workload.h"
+#include "common/random.h"
+#include "core/row_table.h"
+#include "core/table.h"
+
+namespace lstore {
+namespace bench {
+
+enum class EngineKind { kLStore, kLStoreRow, kIuh, kDbm };
+
+std::string EngineName(EngineKind k);
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual EngineKind kind() const = 0;
+
+  /// Bulk-load keys [0, n) with deterministic column values
+  /// (column c of key k = k + c), then settle merges.
+  virtual void Load(uint64_t n) = 0;
+
+  /// Execute one short update transaction: `reads` point reads and
+  /// `writes` updates on keys drawn from [0, active_set). Returns true
+  /// if the transaction committed.
+  virtual bool UpdateTxn(Random& rng, const WorkloadConfig& cfg) = 0;
+
+  /// Execute one point-read-only transaction of `reads` lookups, each
+  /// projecting `cols_mask`. Returns true on commit.
+  virtual bool PointReadTxn(Random& rng, const WorkloadConfig& cfg,
+                            uint32_t reads, uint64_t cols_mask) = 0;
+
+  /// Snapshot scan (SUM) over one continuously-updated column of the
+  /// whole table (the Section 6.2 scan workload).
+  virtual uint64_t ScanSum() = 0;
+
+  /// A current read timestamp for snapshot scans.
+  virtual uint64_t ReadTimestamp() = 0;
+
+  virtual uint64_t num_rows() const = 0;
+};
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind, const WorkloadConfig& cfg);
+
+}  // namespace bench
+}  // namespace lstore
+
+#endif  // LSTORE_BENCH_HARNESS_ENGINES_H_

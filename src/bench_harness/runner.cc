@@ -1,0 +1,128 @@
+#include "bench_harness/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace lstore {
+namespace bench {
+
+using Clock = std::chrono::steady_clock;
+
+RunResult RunMixed(Engine& engine, const WorkloadConfig& cfg,
+                   uint32_t update_threads, uint32_t scan_threads) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0}, aborted{0}, scans{0};
+  std::atomic<uint64_t> scan_ns{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(update_threads + scan_threads);
+  for (uint32_t t = 0; t < update_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(0x1234 + t * 7919);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (engine.UpdateTxn(rng, cfg)) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (uint32_t t = 0; t < scan_threads; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto t0 = Clock::now();
+        volatile uint64_t sum = engine.ScanSum();
+        (void)sum;
+        auto t1 = Clock::now();
+        scan_ns.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count(),
+            std::memory_order_relaxed);
+        scans.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  auto start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  auto end = Clock::now();
+  double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+
+  RunResult res;
+  res.committed = committed.load();
+  res.aborted = aborted.load();
+  res.scans = scans.load();
+  res.update_txns_per_sec = res.committed / secs;
+  res.read_txns_per_sec = res.scans / secs;
+  res.scan_seconds =
+      res.scans == 0 ? 0 : (scan_ns.load() * 1e-9) / res.scans;
+  return res;
+}
+
+double TimeScanUnderUpdates(Engine& engine, const WorkloadConfig& cfg,
+                            uint32_t update_threads, uint32_t repeats) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> updaters;
+  for (uint32_t t = 0; t < update_threads; ++t) {
+    updaters.emplace_back([&, t] {
+      Random rng(0x9999 + t * 104729);
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)engine.UpdateTxn(rng, cfg);
+      }
+    });
+  }
+  // Let updates accumulate before measuring.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(update_threads == 0 ? 0 : cfg.duration_ms));
+
+  double total = 0;
+  for (uint32_t i = 0; i < repeats; ++i) {
+    auto t0 = Clock::now();
+    volatile uint64_t sum = engine.ScanSum();
+    (void)sum;
+    auto t1 = Clock::now();
+    total += std::chrono::duration_cast<std::chrono::duration<double>>(
+                 t1 - t0)
+                 .count();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : updaters) th.join();
+  return total / repeats;
+}
+
+double RunPointReads(Engine& engine, const WorkloadConfig& cfg,
+                     uint32_t threads, uint32_t reads_per_txn,
+                     uint64_t cols_mask) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(0x777 + t * 31337);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (engine.PointReadTxn(rng, cfg, reads_per_txn, cols_mask)) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  auto start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : workers) th.join();
+  auto end = Clock::now();
+  double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  return committed.load() / secs;
+}
+
+}  // namespace bench
+}  // namespace lstore

@@ -1,0 +1,42 @@
+// Multi-threaded workload driver for the Section 6 experiments.
+
+#ifndef LSTORE_BENCH_HARNESS_RUNNER_H_
+#define LSTORE_BENCH_HARNESS_RUNNER_H_
+
+#include <cstdint>
+
+#include "bench_harness/engines.h"
+#include "bench_harness/workload.h"
+
+namespace lstore {
+namespace bench {
+
+struct RunResult {
+  double update_txns_per_sec = 0;
+  double read_txns_per_sec = 0;   ///< long read-only txns (scans)
+  double scan_seconds = 0;        ///< mean single scan latency
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t scans = 0;
+};
+
+/// Run `update_threads` short-update-transaction threads and
+/// `scan_threads` long read-only (scan) threads concurrently for
+/// cfg.duration_ms. The engine's own merge thread runs throughout
+/// ("at least one scan thread and one merge thread", Section 6.1).
+RunResult RunMixed(Engine& engine, const WorkloadConfig& cfg,
+                   uint32_t update_threads, uint32_t scan_threads);
+
+/// Time a single scan while `update_threads` updaters run.
+double TimeScanUnderUpdates(Engine& engine, const WorkloadConfig& cfg,
+                            uint32_t update_threads, uint32_t repeats);
+
+/// Throughput of point-read-only transactions (Table 9).
+double RunPointReads(Engine& engine, const WorkloadConfig& cfg,
+                     uint32_t threads, uint32_t reads_per_txn,
+                     uint64_t cols_mask);
+
+}  // namespace bench
+}  // namespace lstore
+
+#endif  // LSTORE_BENCH_HARNESS_RUNNER_H_

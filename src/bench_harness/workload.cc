@@ -1,0 +1,49 @@
+#include "bench_harness/workload.h"
+
+#include <cstdlib>
+
+namespace lstore {
+namespace bench {
+
+namespace {
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v ? def : static_cast<uint64_t>(parsed);
+}
+}  // namespace
+
+uint64_t EnvScale() { return EnvU64("LSTORE_BENCH_SCALE", 100000); }
+uint64_t EnvDurationMs() { return EnvU64("LSTORE_BENCH_MS", 300); }
+uint32_t EnvMaxThreads() {
+  return static_cast<uint32_t>(EnvU64("LSTORE_BENCH_THREADS", 8));
+}
+
+void WorkloadConfig::Finalize() {
+  uint64_t low_rows = EnvScale();
+  if (table_rows == 0) table_rows = low_rows;
+  if (active_set == 0) {
+    switch (contention) {
+      case Contention::kLow: active_set = low_rows; break;
+      case Contention::kMedium: active_set = low_rows / 100; break;
+      case Contention::kHigh: active_set = low_rows / 1000; break;
+    }
+    if (active_set == 0) active_set = 1;
+  }
+  if (active_set > table_rows) active_set = table_rows;
+  if (duration_ms == 0) duration_ms = EnvDurationMs();
+}
+
+std::string ContentionName(Contention c) {
+  switch (c) {
+    case Contention::kLow: return "low";
+    case Contention::kMedium: return "medium";
+    case Contention::kHigh: return "high";
+  }
+  return "?";
+}
+
+}  // namespace bench
+}  // namespace lstore

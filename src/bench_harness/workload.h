@@ -1,0 +1,58 @@
+// The micro benchmark of [18, 33] used in Section 6.
+//
+// Workload anatomy:
+//  * a table with 10 data columns (plus the key),
+//  * an *active set* of N records that transactions touch:
+//    low contention N = 10M, medium N = 100K, high N = 10K,
+//  * short update transactions: 8 reads + 2 writes by default
+//    (committed-read semantics), each write updating ~40% of columns,
+//  * long read-only transactions: scans over ~10% of the table under
+//    snapshot isolation.
+//
+// Sizes are scaled by LSTORE_BENCH_SCALE (default chosen for a
+// single-core container); the relative active-set ratios — and thus
+// the contention regimes — are preserved.
+
+#ifndef LSTORE_BENCH_HARNESS_WORKLOAD_H_
+#define LSTORE_BENCH_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lstore {
+namespace bench {
+
+enum class Contention { kLow, kMedium, kHigh };
+
+struct WorkloadConfig {
+  uint64_t table_rows = 0;       ///< 0 = derive from contention + scale
+  uint64_t active_set = 0;       ///< 0 = derive
+  Contention contention = Contention::kLow;
+  uint32_t num_columns = 10;     ///< data columns beyond the key
+  uint32_t reads_per_txn = 8;
+  uint32_t writes_per_txn = 2;
+  uint32_t update_column_pct = 40;  ///< avg % of columns per write
+  uint32_t scan_fraction_pct = 10;  ///< long reads touch 10% of table
+  uint64_t duration_ms = 0;         ///< 0 = derive from env
+  uint32_t range_size = 1u << 12;
+  uint32_t merge_threshold = 1u << 11;
+
+  /// Resolve zeroed fields from contention level and environment:
+  /// LSTORE_BENCH_SCALE scales the low-contention table (default
+  /// 100'000 rows => medium 10'000, high 1'000, keeping the paper's
+  /// 100x/1000x ratios), LSTORE_BENCH_MS sets the per-point duration.
+  void Finalize();
+};
+
+/// Human-readable label ("low" / "medium" / "high").
+std::string ContentionName(Contention c);
+
+/// Environment helpers.
+uint64_t EnvScale();       // LSTORE_BENCH_SCALE, default 100000
+uint64_t EnvDurationMs();  // LSTORE_BENCH_MS, default 300
+uint32_t EnvMaxThreads();  // LSTORE_BENCH_THREADS, default 8
+
+}  // namespace bench
+}  // namespace lstore
+
+#endif  // LSTORE_BENCH_HARNESS_WORKLOAD_H_

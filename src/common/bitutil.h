@@ -1,0 +1,49 @@
+// Bit-manipulation helpers shared by the schema-encoding logic and the
+// compression codecs.
+
+#ifndef LSTORE_COMMON_BITUTIL_H_
+#define LSTORE_COMMON_BITUTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace lstore {
+
+inline int PopCount(uint64_t v) { return std::popcount(v); }
+
+/// Number of bits needed to represent v (0 -> 0 bits).
+inline int BitsNeeded(uint64_t v) {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+
+/// Index of the lowest set bit; undefined for v == 0.
+inline int LowestSetBit(uint64_t v) { return std::countr_zero(v); }
+
+/// Iterate the set bits of a mask: for (auto it = BitIter(m); it; ++it) *it.
+class BitIter {
+ public:
+  explicit BitIter(uint64_t mask) : mask_(mask) {}
+  explicit operator bool() const { return mask_ != 0; }
+  int operator*() const { return LowestSetBit(mask_); }
+  BitIter& operator++() {
+    mask_ &= mask_ - 1;
+    return *this;
+  }
+
+ private:
+  uint64_t mask_;
+};
+
+/// Zigzag encoding maps signed deltas to small unsigned values so the
+/// varint codec stores them compactly (used by the historic
+/// delta-compression of Section 4.3).
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace lstore
+
+#endif  // LSTORE_COMMON_BITUTIL_H_

@@ -1,0 +1,41 @@
+// Logical clock used for begin/commit timestamps.
+//
+// Section 5.1.1: "it receives a begin time from a synchronized clock
+// (time is advanced before it is returned)". A single atomic counter
+// per database instance provides the total order of begin and commit
+// events that the optimistic concurrency protocol relies on.
+
+#ifndef LSTORE_COMMON_CLOCK_H_
+#define LSTORE_COMMON_CLOCK_H_
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace lstore {
+
+/// Monotonic logical clock. `Tick()` advances time before returning
+/// it, so no two callers observe the same timestamp.
+class LogicalClock {
+ public:
+  /// Advance the clock and return the new time.
+  Timestamp Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Read the current time without advancing.
+  Timestamp Now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Fast-forward (used by recovery to resume beyond replayed times).
+  void AdvanceTo(Timestamp t) {
+    Timestamp cur = now_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<Timestamp> now_{0};
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_COMMON_CLOCK_H_

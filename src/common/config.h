@@ -1,0 +1,70 @@
+// Tuning knobs of the lineage-based storage engine.
+//
+// Defaults follow the paper's evaluation (Section 6.1): 32 KB base
+// pages, smaller tail pages (footnote 13), update ranges of 2^12..2^16
+// records (Section 4.4), merge triggered once ~50% of the range size
+// worth of tail records accumulated (Figure 8 discussion).
+
+#ifndef LSTORE_COMMON_CONFIG_H_
+#define LSTORE_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lstore {
+
+struct TableConfig {
+  /// Number of records per (virtual) update range. Power of two.
+  /// Paper: 2^12 .. 2^16 (Section 4.4).
+  uint32_t range_size = 1u << 12;
+
+  /// Slots per base page. 32 KB pages of 8-byte values = 4096 slots.
+  uint32_t base_page_slots = 4096;
+
+  /// Slots per tail page. Tail pages may be smaller than base pages
+  /// (footnote 13: "tail pages could be 4 KB while base pages are
+  /// 32 KB").
+  uint32_t tail_page_slots = 512;
+
+  /// Merge a range once this many committed-but-unmerged tail records
+  /// accumulated. Figure 8: best around 50% of the range size.
+  uint32_t merge_threshold = 1u << 11;
+
+  /// Coarser granularity for the merge: merge N consecutive update
+  /// ranges together (Section 4.4: fine ranges for update locality,
+  /// coarse merges for space utilization). 1 = merge range by range.
+  uint32_t merge_fanin = 1;
+
+  /// Cumulative updates (Section 3.1): a new tail record repeats the
+  /// latest values of all columns updated since the last cumulation
+  /// reset. Reset happens at merge boundaries (TPS high-water mark,
+  /// Section 4.2). Disabling forces readers to walk the full chain.
+  bool cumulative_updates = true;
+
+  /// Compress base pages produced by the merge (dictionary/RLE/plain,
+  /// chosen per page).
+  bool compress_merged_pages = true;
+
+  /// Size of an insert range: the pre-allocated block of base RIDs
+  /// backed by table-level tail pages (Section 3.2; "at least a
+  /// million RIDs" in production — smaller default here so tests
+  /// exercise multiple insert ranges).
+  uint32_t insert_range_size = 1u << 16;
+
+  /// Run the asynchronous merge thread (true in all experiments).
+  bool enable_merge_thread = true;
+
+  /// Redo logging of tail appends (Section 5.1.3). Off by default to
+  /// match the evaluation ("logging has been turned off for all
+  /// systems"); recovery tests enable it.
+  bool enable_logging = false;
+  std::string log_path;  ///< file path when logging is enabled
+
+  /// fsync the log on commit (group commit still batches writes).
+  bool sync_commit = false;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_COMMON_CONFIG_H_

@@ -1,0 +1,76 @@
+// Pseudo-random generators for the benchmark harness and tests.
+//
+// The micro benchmark of [18, 33] draws keys uniformly from a
+// configurable *active set*; we additionally provide a Zipfian
+// generator for skewed-workload ablations.
+
+#ifndef LSTORE_COMMON_RANDOM_H_
+#define LSTORE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lstore {
+
+/// xorshift128+ generator: fast, decent quality, reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    s0_ = seed ^ 0x2545f4914f6cdd1dull;
+    s1_ = seed * 0xbf58476d1ce4e5b9ull + 1;
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi).
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo);
+  }
+
+  /// True with probability pct/100.
+  bool Percent(uint32_t pct) { return Uniform(100) < pct; }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipfian distribution over [0, n) using the Gray et al. method
+/// (as popularized by YCSB). theta in (0, 1); higher = more skew.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 1);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_COMMON_RANDOM_H_

@@ -1,0 +1,93 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+namespace lstore {
+
+Status Database::CreateTable(const std::string& name, Schema schema,
+                             TableConfig config) {
+  SpinGuard g(latch_);
+  for (const auto& e : tables_) {
+    if (e.name == name) return Status::AlreadyExists("table exists");
+  }
+  tables_.push_back(Entry{
+      name, std::make_unique<Table>(name, std::move(schema),
+                                    std::move(config), &txn_manager_)});
+  return Status::OK();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  SpinGuard g(latch_);
+  for (auto& e : tables_) {
+    if (e.name == name) return e.table.get();
+  }
+  return nullptr;
+}
+
+Status Database::DropTable(const std::string& name) {
+  SpinGuard g(latch_);
+  auto it = std::find_if(tables_.begin(), tables_.end(),
+                         [&](const Entry& e) { return e.name == name; });
+  if (it == tables_.end()) return Status::NotFound("no such table");
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  SpinGuard g(latch_);
+  std::vector<std::string> names;
+  for (const auto& e : tables_) names.push_back(e.name);
+  return names;
+}
+
+Transaction Database::Begin(IsolationLevel iso) {
+  return txn_manager_.Begin(iso);
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (txn->finished()) return Status::InvalidArgument("already finished");
+  // Snapshot the table list (tables are not dropped mid-transaction).
+  std::vector<Table*> tables;
+  {
+    SpinGuard g(latch_);
+    for (auto& e : tables_) tables.push_back(e.table.get());
+  }
+  Timestamp commit_time = txn_manager_.EnterPreCommit(txn);
+  // Validate every table's share of the readset.
+  for (Table* t : tables) {
+    Status s = t->ValidateReads(txn, commit_time);
+    if (!s.ok()) {
+      Abort(txn);
+      return s;
+    }
+  }
+  // Commit records in every participating log.
+  for (Table* t : tables) {
+    Status s = t->WriteCommitRecord(txn, commit_time);
+    if (!s.ok()) {
+      Abort(txn);
+      return s;
+    }
+  }
+  // Single atomic commit point for all tables: the shared manager.
+  txn_manager_.MarkCommitted(txn);
+  for (Table* t : tables) t->StampWrites(txn, commit_time);
+  txn_manager_.Retire(txn->id());
+  txn->set_finished();
+  return Status::OK();
+}
+
+void Database::Abort(Transaction* txn) {
+  if (txn->finished()) return;
+  std::vector<Table*> tables;
+  {
+    SpinGuard g(latch_);
+    for (auto& e : tables_) tables.push_back(e.table.get());
+  }
+  txn_manager_.MarkAborted(txn);
+  for (Table* t : tables) t->StampWrites(txn, kAbortedStamp);
+  txn_manager_.Retire(txn->id());
+  txn->set_finished();
+}
+
+}  // namespace lstore

@@ -1,0 +1,66 @@
+// Database: a collection of L-Store tables sharing one transaction
+// manager and logical clock, giving multi-statement transactions that
+// span tables (the paper's transaction layer operates above the
+// storage layer; Section 3: "we support multi-statement transactions
+// through L-Store's transaction layer").
+
+#ifndef LSTORE_CORE_DATABASE_H_
+#define LSTORE_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "core/table.h"
+
+namespace lstore {
+
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Create a table registered under `name`. Fails if the name exists.
+  Status CreateTable(const std::string& name, Schema schema,
+                     TableConfig config);
+
+  /// Lookup; nullptr if absent.
+  Table* GetTable(const std::string& name);
+
+  /// Drop a table (must not have in-flight transactions touching it).
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Begin a transaction valid across every table of this database.
+  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
+
+  /// Commit/abort a cross-table transaction. Every table the
+  /// transaction wrote participates: validation runs against each
+  /// table's data, and the state flip in the shared manager is the
+  /// single atomic commit point for all of them.
+  Status Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+
+  TransactionManager& txn_manager() { return txn_manager_; }
+
+  /// Current timestamp for snapshot scans across tables.
+  Timestamp ReadTimestamp() { return txn_manager_.clock().Tick(); }
+
+ private:
+  TransactionManager txn_manager_;
+  mutable SpinLatch latch_;
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Table> table;
+  };
+  std::vector<Entry> tables_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_CORE_DATABASE_H_

@@ -1,0 +1,103 @@
+// L-Store (Row): row-layout variant of the lineage architecture used
+// by the layout comparison of Section 6.2 (Tables 8 and 9).
+//
+// Footnote 18: "our proposed lineage-based storage architecture is not
+// limited to any particular data layout". This variant keeps the same
+// machinery — base records + append-only tail versions + in-place
+// Indirection with a latch bit + MVCC visibility — but stores each
+// record contiguously. Every tail version is a *complete* row (the
+// natural row-store behaviour), so reads are always at most 1 hop;
+// scans pay the strided access that Table 8 quantifies.
+
+#ifndef LSTORE_CORE_ROW_TABLE_H_
+#define LSTORE_CORE_ROW_TABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/epoch.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/schema.h"
+#include "index/primary_index.h"
+#include "txn/transaction.h"
+#include "txn/transaction_manager.h"
+
+namespace lstore {
+
+class RowTable {
+ public:
+  RowTable(Schema schema, TableConfig config,
+           TransactionManager* txn_manager = nullptr);
+  ~RowTable();
+
+  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
+  Status Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+
+  Status Insert(Transaction* txn, const std::vector<Value>& row);
+  Status Update(Transaction* txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row);
+  /// Delete: appends a version whose key column is ∅ (the row-layout
+  /// delete marker); older snapshots keep seeing the record.
+  Status Delete(Transaction* txn, Value key);
+  Status Read(Transaction* txn, Value key, ColumnMask mask,
+              std::vector<Value>* out);
+  Status SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum) const;
+
+  const Schema& schema() const { return schema_; }
+  TransactionManager& txn_manager() { return *txn_manager_; }
+  uint64_t num_rows() const { return next_row_.load(std::memory_order_acquire); }
+
+ private:
+  // Tail version layout (row-major): [start_time][backptr][c0..cN-1].
+  struct RowRange {
+    explicit RowRange(uint32_t range_size, uint32_t ncols);
+
+    uint32_t stride;  // ncols + 2
+    std::atomic<uint32_t> occupied{0};
+    std::atomic<uint32_t> next_seq{0};
+    /// Base rows: range_size * ncols atomic values.
+    std::unique_ptr<std::atomic<Value>[]> base;
+    std::unique_ptr<std::atomic<Value>[]> base_start;
+    std::unique_ptr<std::atomic<uint64_t>[]> indirection;
+    /// Tail chunks, each holding kChunkRows versions.
+    static constexpr uint32_t kChunkRows = 256;
+    mutable SpinLatch grow_latch;
+    std::vector<std::unique_ptr<std::atomic<Value>[]>> chunks;
+    std::atomic<size_t> num_chunks{0};
+
+    std::atomic<Value>* VersionSlot(uint32_t seq, uint32_t field);
+    const std::atomic<Value>* VersionSlot(uint32_t seq, uint32_t field) const;
+    uint32_t Reserve();  // ensures the chunk exists; returns seq (>=1)
+  };
+
+  RowRange* GetRange(uint64_t id) const;
+  RowRange* EnsureRange(uint64_t id);
+
+  Status ResolveRow(RowRange& r, uint32_t slot, Timestamp as_of,
+                    Transaction* txn, ColumnMask mask,
+                    std::vector<Value>* out) const;
+  bool VisibleRaw(std::atomic<Value>* sref, Value& raw, Timestamp as_of,
+                  Transaction* txn) const;
+
+  Schema schema_;
+  TableConfig config_;
+  std::unique_ptr<TransactionManager> owned_txn_manager_;
+  TransactionManager* txn_manager_;
+  mutable EpochManager epochs_;
+  PrimaryIndex primary_;
+
+  static constexpr uint64_t kMaxRanges = 1 << 16;
+  std::atomic<uint64_t> next_row_{0};
+  mutable SpinLatch ranges_latch_;
+  std::unique_ptr<std::atomic<RowRange*>[]> ranges_;
+  std::atomic<uint64_t> num_ranges_{0};
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_CORE_ROW_TABLE_H_

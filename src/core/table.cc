@@ -1,0 +1,1367 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitutil.h"
+#include "core/historic.h"
+#include "core/merge.h"
+
+namespace lstore {
+
+namespace {
+
+void AtomicMaxU32(std::atomic<uint32_t>& a, uint32_t v) {
+  uint32_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Range
+// ---------------------------------------------------------------------------
+
+Table::Range::Range(uint64_t range_id, uint32_t range_size, uint32_t num_cols,
+                    uint32_t tail_page_slots)
+    : id(range_id),
+      indirection(std::make_unique<std::atomic<uint64_t>[]>(range_size)),
+      ever_updated(std::make_unique<std::atomic<uint64_t>[]>(range_size)),
+      inserts(num_cols, tail_page_slots),
+      updates(num_cols, tail_page_slots),
+      base(num_cols + kBaseMetaColumns) {
+  for (uint32_t i = 0; i < range_size; ++i) {
+    indirection[i].store(0, std::memory_order_relaxed);
+    ever_updated[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& b : base) b.store(nullptr, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Table::Table(std::string name, Schema schema, TableConfig config,
+             TransactionManager* txn_manager)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      config_(config),
+      chunks_(std::make_unique<std::atomic<RangeChunk*>[]>(kMaxRangeChunks)) {
+  for (uint32_t i = 0; i < kMaxRangeChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  if (txn_manager != nullptr) {
+    txn_manager_ = txn_manager;
+  } else {
+    owned_txn_manager_ = std::make_unique<TransactionManager>();
+    txn_manager_ = owned_txn_manager_.get();
+  }
+  if (config_.enable_logging && !config_.log_path.empty()) {
+    log_ = std::make_unique<RedoLog>();
+    Status s = log_->Open(config_.log_path, /*truncate=*/false);
+    if (!s.ok()) log_.reset();
+  }
+  merge_manager_ = std::make_unique<MergeManager>(this);
+  if (config_.enable_merge_thread) merge_manager_->Start();
+}
+
+Table::~Table() {
+  if (merge_manager_) merge_manager_->Stop();
+  // Run pending epoch deleters BEFORE tearing down the ranges they
+  // reference (retired segments, deferred tail-page drops). No readers
+  // can exist at this point.
+  epochs_.DrainAllUnsafe();
+  // Free ranges and their published structures.
+  for (uint64_t c = 0; c < kMaxRangeChunks; ++c) {
+    RangeChunk* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (uint32_t i = 0; i < kRangeChunkSize; ++i) {
+      Range* r = chunk->ranges[i].load(std::memory_order_acquire);
+      if (r == nullptr) continue;
+      for (auto& b : r->base) delete b.load(std::memory_order_acquire);
+      delete r->historic.load(std::memory_order_acquire);
+      delete r;
+    }
+    delete chunk;
+  }
+}
+
+Table::Range* Table::GetRange(uint64_t id) const {
+  uint64_t c = id / kRangeChunkSize;
+  if (c >= kMaxRangeChunks) return nullptr;
+  RangeChunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return chunk->ranges[id % kRangeChunkSize].load(std::memory_order_acquire);
+}
+
+Table::Range* Table::EnsureRange(uint64_t id) {
+  Range* r = GetRange(id);
+  if (r != nullptr) return r;
+  SpinGuard g(ranges_latch_);
+  uint64_t c = id / kRangeChunkSize;
+  RangeChunk* chunk = chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    chunk = new RangeChunk();
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  auto& slot = chunk->ranges[id % kRangeChunkSize];
+  r = slot.load(std::memory_order_acquire);
+  if (r == nullptr) {
+    r = new Range(id, config_.range_size, schema_.num_columns(),
+                  config_.tail_page_slots);
+    slot.store(r, std::memory_order_release);
+    uint64_t n = num_ranges_.load(std::memory_order_relaxed);
+    while (n < id + 1 && !num_ranges_.compare_exchange_weak(
+                             n, id + 1, std::memory_order_acq_rel)) {
+    }
+  }
+  return r;
+}
+
+uint64_t Table::num_ranges() const {
+  return num_ranges_.load(std::memory_order_acquire);
+}
+
+uint32_t Table::RangeTps(uint64_t range_id) const {
+  Range* r = GetRange(range_id);
+  return r == nullptr ? 0 : r->merged_tps.load(std::memory_order_acquire);
+}
+
+uint32_t Table::RangeTailLength(uint64_t range_id) const {
+  Range* r = GetRange(range_id);
+  return r == nullptr ? 0 : r->updates.LastSeq();
+}
+
+std::vector<uint32_t> Table::RangeColumnTps(uint64_t range_id) const {
+  std::vector<uint32_t> out;
+  Range* r = GetRange(range_id);
+  if (r == nullptr) return out;
+  EpochGuard guard(epochs_);
+  for (ColumnId c = 0; c < schema_.num_columns(); ++c) {
+    BaseSegment* seg = Segment(*r, c);
+    out.push_back(seg == nullptr ? 0 : seg->tps);
+  }
+  return out;
+}
+
+std::vector<Table::ChainEntry> Table::DebugChain(Value key,
+                                                 ColumnId col) const {
+  std::vector<ChainEntry> out;
+  Rid rid = primary_.Get(key);
+  if (rid == kInvalidRid) return out;
+  Range* r = GetRange(RangeOf(rid));
+  if (r == nullptr) return out;
+  uint32_t slot = SlotOf(rid);
+  EpochGuard guard(epochs_);
+  uint32_t seq = IndirSeq(r->indirection[slot].load(std::memory_order_acquire));
+  int hops = 0;
+  while (seq != 0 && hops++ < 1000) {
+    ChainEntry e;
+    e.seq = seq;
+    e.raw_start = r->updates.Read(seq, kTailStartTime);
+    e.schema_encoding = r->updates.Read(seq, kTailSchemaEncoding);
+    e.col_value = r->updates.Read(seq, kTailMetaColumns + col);
+    out.push_back(e);
+    seq = static_cast<uint32_t>(r->updates.Read(seq, kTailIndirection));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Base record accessors
+// ---------------------------------------------------------------------------
+
+Value Table::BaseValue(const Range& r, uint32_t slot,
+                       uint32_t physical_col) const {
+  BaseSegment* seg = r.base[physical_col].load(std::memory_order_acquire);
+  if (seg != nullptr && slot < seg->num_slots) {
+    return seg->data->Get(slot);
+  }
+  // Not insert-merged yet: the record lives in the table-level tail
+  // pages (Section 3.2) at the aligned position slot+1.
+  uint32_t seq = slot + 1;
+  if (physical_col < schema_.num_columns()) {
+    return r.inserts.Read(seq, kTailMetaColumns + physical_col);
+  }
+  switch (physical_col - schema_.num_columns()) {
+    case kBaseStartTime:
+      return r.inserts.Read(seq, kTailStartTime);
+    case kBaseLastUpdated:
+      return r.inserts.Read(seq, kTailStartTime);
+    case kBaseSchemaEnc:
+      return 0;
+  }
+  return kNull;
+}
+
+Value Table::BaseStartRaw(const Range& r, uint32_t slot) const {
+  return BaseMetaValue(r, slot, kBaseStartTime);
+}
+
+std::atomic<Value>* Table::BaseStartSlot(Range& r, uint32_t slot) const {
+  // Only meaningful while the slot is not insert-merged (the segment's
+  // start column is a stamped, stable commit time).
+  return r.inserts.StartTimeSlot(slot + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Visibility
+// ---------------------------------------------------------------------------
+
+void Table::StampCommitTime(std::atomic<Value>* slot, Value observed) const {
+  Value expected = observed;
+  // Lazy swap of txn id -> commit time (Section 5.1.1); losing the
+  // race is fine, someone else stamped.
+  TransactionManager::StateView view = txn_manager_->GetState(observed);
+  if (view.found && view.state == TxnState::kCommitted) {
+    slot->compare_exchange_strong(expected, view.commit,
+                                  std::memory_order_acq_rel);
+  }
+}
+
+Table::Visibility Table::CheckVisible(std::atomic<Value>* slot_ref, Value& raw,
+                                      const ReadSpec& spec,
+                                      TxnId* dependency) const {
+  for (int spin = 0;; ++spin) {
+    if (raw == kNull) return Visibility::kInvisible;
+    if (IsAbortedStamp(raw)) return Visibility::kInvisible;
+    if (!IsTxnId(raw)) {
+      return raw < spec.as_of ? Visibility::kVisible : Visibility::kInvisible;
+    }
+    // Raw holds a transaction id.
+    if (spec.txn != nullptr && raw == spec.txn->id()) {
+      return Visibility::kVisible;  // read-your-own-writes
+    }
+    TransactionManager::StateView view = txn_manager_->GetState(raw);
+    if (!view.found) {
+      // Entry retired: the outcome has been stamped into the slot;
+      // re-read and re-evaluate.
+      Value reread = slot_ref->load(std::memory_order_acquire);
+      if (reread == raw) {
+        // Stamping is in flight on another thread; brief wait.
+        std::this_thread::yield();
+        continue;
+      }
+      raw = reread;
+      continue;
+    }
+    switch (view.state) {
+      case TxnState::kActive:
+        return Visibility::kInvisible;
+      case TxnState::kPreCommit:
+        if (spec.speculative && view.commit < spec.as_of) {
+          if (dependency != nullptr) *dependency = raw;
+          return Visibility::kVisibleSpeculative;
+        }
+        if (spec.as_of != kMaxTimestamp &&
+            (view.commit == 0 || view.commit < spec.as_of)) {
+          // A pre-commit writer whose commit time falls inside this
+          // snapshot: its outcome determines visibility, so wait for
+          // the (short) validation window to resolve — otherwise two
+          // reads of the same snapshot could disagree.
+          std::this_thread::yield();
+          continue;
+        }
+        return Visibility::kInvisible;
+      case TxnState::kCommitted: {
+        Value expected = raw;
+        slot_ref->compare_exchange_strong(expected, view.commit,
+                                          std::memory_order_acq_rel);
+        raw = view.commit;
+        return view.commit < spec.as_of ? Visibility::kVisible
+                                        : Visibility::kInvisible;
+      }
+      case TxnState::kAborted: {
+        Value expected = raw;
+        slot_ref->compare_exchange_strong(expected, kAbortedStamp,
+                                          std::memory_order_acq_rel);
+        return Visibility::kInvisible;
+      }
+    }
+  }
+}
+
+bool Table::VisibleAtSnapshot(Value raw_start, Timestamp as_of) const {
+  if (raw_start == kNull || IsAbortedStamp(raw_start)) return false;
+  if (IsTxnId(raw_start)) {
+    TransactionManager::StateView view = txn_manager_->GetState(raw_start);
+    return view.found && view.state == TxnState::kCommitted &&
+           view.commit < as_of;
+  }
+  return raw_start < as_of;
+}
+
+// ---------------------------------------------------------------------------
+// Record resolution (the 2-hop read path of Section 2.2)
+// ---------------------------------------------------------------------------
+
+Status Table::ResolveRecord(Range& r, uint32_t slot, const ReadSpec& spec,
+                            ColumnMask needed, std::vector<Value>* out,
+                            uint32_t* observed_seq) const {
+  Status status = Status::OK();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool consistent = true;
+    status = ResolveRecordOnce(r, slot, spec, needed, out, observed_seq,
+                               &consistent);
+    if (consistent) return status;
+    // Theorem 2: an inconsistent read (detected via the in-page
+    // lineage) is repaired by re-resolving against fresh state.
+    std::this_thread::yield();
+    if (attempt == 6) {
+      std::fprintf(stderr,
+                   "lstore: ResolveRecord retries exhausted slot=%u as_of=%llu"
+                   " tps=%u\n",
+                   slot, (unsigned long long)spec.as_of,
+                   r.merged_tps.load(std::memory_order_acquire));
+    }
+  }
+  return status;
+}
+
+Status Table::ResolveRecordOnce(Range& r, uint32_t slot, const ReadSpec& spec,
+                                ColumnMask needed, std::vector<Value>* out,
+                                uint32_t* observed_seq,
+                                bool* consistent) const {
+  constexpr uint32_t kInvisibleSeq = 0xFFFFFFFFu;
+  if (observed_seq != nullptr) *observed_seq = kInvisibleSeq;
+
+  // 1. Base record (original insert) visibility.
+  {
+    uint32_t based = r.based.load(std::memory_order_acquire);
+    if (slot < based) {
+      Value start = BaseMetaValue(r, slot, kBaseStartTime);
+      if (!(start != kNull && start < spec.as_of)) {
+        // Insert-merged starts are stable commit times; kNull marks an
+        // aborted insert.
+        return Status::NotFound("record not visible");
+      }
+    } else {
+      std::atomic<Value>* sref = BaseStartSlot(r, slot);
+      Value raw = sref->load(std::memory_order_acquire);
+      TxnId dep = 0;
+      Visibility v = CheckVisible(sref, raw, spec, &dep);
+      if (v == Visibility::kInvisible) {
+        return Status::NotFound("record not visible");
+      }
+      if (v == Visibility::kVisibleSpeculative && spec.txn != nullptr) {
+        spec.txn->commit_dependencies().push_back(dep);
+      }
+    }
+  }
+
+  // 2. Walk the lineage chain from the Indirection column. Columns
+  // whose base Schema Encoding bit is clear were never updated, so
+  // their value lives in base pages for every snapshot — serve them
+  // without touching the chain (the 0/2-hop property of Section 2.2).
+  uint64_t iv = r.indirection[slot].load(std::memory_order_acquire);
+  uint32_t seq = IndirSeq(iv);
+  uint64_t ever = r.ever_updated[slot].load(std::memory_order_acquire);
+  ColumnMask remaining = needed & ever;
+  ColumnMask base_resident = needed & ~ever;
+  bool first_found = false;
+  const bool latest_mode = spec.as_of == kMaxTimestamp;
+
+  // Fast path (0-hop): every requested column is covered by merged
+  // base segments at or beyond the chain head.
+  if (latest_mode && seq != 0) {
+    bool covered = true;
+    BaseSegment* enc_seg = r.base[schema_.num_columns() + kBaseSchemaEnc]
+                               .load(std::memory_order_acquire);
+    if (enc_seg == nullptr || slot >= enc_seg->num_slots ||
+        enc_seg->tps < seq) {
+      covered = false;
+    }
+    for (BitIter it(needed); covered && it; ++it) {
+      BaseSegment* seg = Segment(r, static_cast<uint32_t>(*it));
+      if (seg == nullptr || slot >= seg->num_slots || seg->tps < seq) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      Value enc = BaseMetaValue(r, slot, kBaseSchemaEnc);
+      if (IsDeleteRecord(enc)) return Status::NotFound("deleted");
+      for (BitIter it(needed); it; ++it) {
+        (*out)[*it] = BaseDataValue(r, slot, static_cast<ColumnId>(*it));
+      }
+      if (observed_seq != nullptr) *observed_seq = seq;
+      return Status::OK();
+    }
+  }
+
+  while (seq != 0 && (remaining != 0 || !first_found)) {
+    uint32_t boundary = r.historic_boundary.load(std::memory_order_acquire);
+    if (seq < boundary) {
+      // Continue inside the historic store (Section 4.3).
+      HistoricStore* hist = r.historic.load(std::memory_order_acquire);
+      if (hist != nullptr) {
+        stats_.tail_chain_hops.fetch_add(1, std::memory_order_relaxed);
+        auto versions = hist->VersionsOf(slot);
+        for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+          if (it->seq > seq) continue;
+          if (!(it->start_time < spec.as_of)) continue;
+          if (IsSupersededRecord(it->schema_encoding)) continue;
+          if (!first_found) {
+            first_found = true;
+            if (observed_seq != nullptr) *observed_seq = it->seq;
+            if (IsDeleteRecord(it->schema_encoding)) {
+              return Status::NotFound("deleted");
+            }
+          }
+          ColumnMask take = it->mask & remaining;
+          if (take != 0) {
+            int vi = 0;
+            for (BitIter b(it->mask); b; ++b, ++vi) {
+              if (take & (1ull << *b)) (*out)[*b] = it->values[vi];
+            }
+            remaining &= ~take;
+          }
+          if (remaining == 0 && first_found) break;
+        }
+      }
+      break;  // chain fully consumed (older than historic = base)
+    }
+
+    std::atomic<Value>* sref = r.updates.StartTimeSlot(seq);
+    Value raw = sref->load(std::memory_order_acquire);
+    TxnId dep = 0;
+    Visibility vis = CheckVisible(sref, raw, spec, &dep);
+    uint32_t back = static_cast<uint32_t>(r.updates.Read(seq, kTailIndirection));
+    if (vis == Visibility::kInvisible) {
+      seq = back;
+      continue;
+    }
+    if (vis == Visibility::kVisibleSpeculative && spec.txn != nullptr) {
+      spec.txn->commit_dependencies().push_back(dep);
+    }
+    Value enc = r.updates.Read(seq, kTailSchemaEncoding);
+    if (IsSupersededRecord(enc)) {
+      seq = back;  // intermediate same-txn version: implicitly invalid
+      continue;
+    }
+    stats_.tail_chain_hops.fetch_add(1, std::memory_order_relaxed);
+    if (!first_found) {
+      first_found = true;
+      if (observed_seq != nullptr) *observed_seq = seq;
+      if (IsDeleteRecord(enc)) return Status::NotFound("deleted");
+    }
+    ColumnMask take = SchemaColumns(enc) & remaining;
+    for (BitIter it(take); it; ++it) {
+      (*out)[*it] = r.updates.Read(seq, kTailMetaColumns +
+                                            static_cast<uint32_t>(*it));
+    }
+    remaining &= ~take;
+
+    // Per-column TPS cut-off (latest reads only): once every remaining
+    // column's base segment already consolidates the rest of the
+    // chain, stop walking (Section 4.2).
+    if (latest_mode && remaining != 0 && back != 0) {
+      ColumnMask cut = 0;
+      for (BitIter it(remaining); it; ++it) {
+        BaseSegment* seg = Segment(r, static_cast<uint32_t>(*it));
+        if (seg != nullptr && slot < seg->num_slots && seg->tps >= back) {
+          (*out)[*it] = BaseDataValue(r, slot, static_cast<ColumnId>(*it));
+          cut |= 1ull << *it;
+        }
+      }
+      remaining &= ~cut;
+    }
+    seq = back;
+  }
+
+  if (!first_found && observed_seq != nullptr) *observed_seq = 0;
+
+  // 3. Remaining columns found no visible chain version: their value
+  // lives in base pages. For snapshot reads this is only sound when
+  // the record's merged horizon (Last Updated Time) lies below the
+  // snapshot — a newer merged state with an unmatched chain walk is
+  // exactly the inconsistent read of Lemma 3, so flag a retry.
+  if (spec.as_of != kMaxTimestamp && remaining != 0 &&
+      slot < r.based.load(std::memory_order_acquire)) {
+    Value lut = BaseMetaValue(r, slot, kBaseLastUpdated);
+    if (lut != kNull && !IsTxnId(lut) && lut >= spec.as_of) {
+      *consistent = false;
+    }
+  }
+  for (BitIter it(remaining | base_resident); it; ++it) {
+    (*out)[*it] = BaseDataValue(r, slot, static_cast<ColumnId>(*it));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Transaction Table::Begin(IsolationLevel iso) {
+  return txn_manager_->Begin(iso);
+}
+
+Status Table::ValidateReads(Transaction* txn, Timestamp commit_time) {
+  bool validate_all = txn->isolation() == IsolationLevel::kSerializable;
+  bool validate_spec = txn->isolation() != IsolationLevel::kReadCommitted;
+  if (!validate_all && !validate_spec) return Status::OK();
+  EpochGuard guard(epochs_);
+  // Reads of this transaction's own writes trivially validate.
+  std::unordered_set<uint64_t> own;
+  for (const WriteEntry& w : txn->writeset()) {
+    if (w.owner == this && !w.is_insert) {
+      own.insert((w.range_id << 24) | w.seq);
+    }
+  }
+  for (const ReadEntry& e : txn->readset()) {
+    if (e.owner != this) continue;
+    if (!validate_all && !e.speculative) continue;
+    if (own.count((e.range_id << 24) | e.observed_seq) != 0) continue;
+    Range* r = GetRange(e.range_id);
+    if (r == nullptr) continue;
+    std::vector<Value> tmp(schema_.num_columns(), kNull);
+    uint32_t now_seq = 0;
+    // Re-resolve the visible version as of the commit time, ignoring
+    // our own pre-commit versions (spec.txn = nullptr: they carry
+    // our txn id and would otherwise shadow the committed version).
+    ReadSpec spec{commit_time, nullptr, /*speculative=*/false};
+    Status s = ResolveRecord(*r, e.base_slot, spec, 0, &tmp, &now_seq);
+    (void)s;  // NotFound encodes deletion; seq comparison covers it
+    if (now_seq != e.observed_seq &&
+        own.count((e.range_id << 24) | now_seq) == 0) {
+      return Status::Aborted("read validation failed");
+    }
+  }
+  // Speculative commit dependencies must have committed ([18]).
+  for (TxnId dep : txn->commit_dependencies()) {
+    TransactionManager::StateView view = txn_manager_->GetState(dep);
+    if (view.found && view.state != TxnState::kCommitted) {
+      if (view.state == TxnState::kAborted) {
+        return Status::Aborted("speculative dependency aborted");
+      }
+      // Still pre-commit: wait briefly for the outcome.
+      while (view.found && view.state == TxnState::kPreCommit) {
+        std::this_thread::yield();
+        view = txn_manager_->GetState(dep);
+      }
+      if (view.found && view.state == TxnState::kAborted) {
+        return Status::Aborted("speculative dependency aborted");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::WriteCommitRecord(Transaction* txn, Timestamp commit_time) {
+  if (log_ == nullptr) return Status::OK();
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = txn->id();
+  rec.commit_time = commit_time;
+  log_->Append(rec);
+  return log_->Flush(config_.sync_commit);
+}
+
+void Table::StampWrites(Transaction* txn, Value outcome) {
+  for (const WriteEntry& w : txn->writeset()) {
+    if (w.owner != this) continue;
+    Range* r = GetRange(w.range_id);
+    if (r == nullptr) continue;
+    TailSegment& seg = w.is_insert ? r->inserts : r->updates;
+    std::atomic<Value>* slot = seg.StartTimeSlot(w.seq);
+    Value expected = txn->id();
+    slot->compare_exchange_strong(expected, outcome,
+                                  std::memory_order_acq_rel);
+    if (outcome == kAbortedStamp && w.is_insert) {
+      primary_.Erase(w.inserted_key);
+    }
+  }
+}
+
+Status Table::Commit(Transaction* txn) {
+  if (txn->finished()) return Status::InvalidArgument("already finished");
+  // Acquire commit time and enter pre-commit (Section 5.1.1).
+  Timestamp commit_time = txn_manager_->EnterPreCommit(txn);
+
+  Status validation = ValidateReads(txn, commit_time);
+  if (!validation.ok()) {
+    stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
+    Abort(txn);
+    return validation;
+  }
+
+  // Commit record + group-commit flush (Section 5.1.3).
+  Status ls = WriteCommitRecord(txn, commit_time);
+  if (!ls.ok()) {
+    Abort(txn);
+    return ls;
+  }
+
+  // Publish: the state flip is the commit point.
+  txn_manager_->MarkCommitted(txn);
+
+  // Post-commit: stamp Start Time slots so the manager entry can be
+  // retired (keeps the hashtable bounded; readers that raced see
+  // either the entry or the stamped slot).
+  StampWrites(txn, commit_time);
+  txn_manager_->Retire(txn->id());
+  txn->set_finished();
+  return Status::OK();
+}
+
+void Table::Abort(Transaction* txn) {
+  if (txn->finished()) return;
+  txn_manager_->MarkAborted(txn);
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.type = LogRecordType::kAbort;
+    rec.txn_id = txn->id();
+    log_->Append(rec);
+  }
+  // Tombstone the writeset (Section 5.1.3: aborted tail records are
+  // only marked invalid; space is reclaimed by compression).
+  StampWrites(txn, kAbortedStamp);
+  txn_manager_->Retire(txn->id());
+  txn->set_finished();
+}
+
+// ---------------------------------------------------------------------------
+// Insert (Section 3.2)
+// ---------------------------------------------------------------------------
+
+Status Table::Insert(Transaction* txn, const std::vector<Value>& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  EpochGuard guard(epochs_);
+  uint64_t rid = next_row_.fetch_add(1, std::memory_order_relaxed);
+  Range* r = EnsureRange(RangeOf(rid));
+  uint32_t slot = SlotOf(rid);
+  uint32_t seq = slot + 1;  // aligned base/tail RIDs
+
+  AtomicMaxU32(r->occupied, slot + 1);
+
+  if (!primary_.Insert(row[0], rid)) {
+    // Slot is burned; tombstone it so scans skip it.
+    r->inserts.StartTimeSlot(seq)->store(kAbortedStamp,
+                                         std::memory_order_release);
+    return Status::AlreadyExists("duplicate key");
+  }
+
+  for (ColumnId c = 0; c < schema_.num_columns(); ++c) {
+    r->inserts.Write(seq, kTailMetaColumns + c, row[c]);
+  }
+  r->inserts.Write(seq, kTailIndirection, 0);
+  r->inserts.Write(seq, kTailSchemaEncoding, 0);
+  r->inserts.Write(seq, kTailBaseRid, slot);
+
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.type = LogRecordType::kInsertAppend;
+    rec.txn_id = txn->id();
+    rec.range_id = r->id;
+    rec.seq = seq;
+    rec.base_slot = slot;
+    rec.backptr = 0;
+    rec.schema_encoding = 0;
+    rec.start_raw = txn->id();
+    rec.mask = schema_.AllColumns();
+    rec.values = row;
+    log_->Append(rec);
+  }
+
+  // Publish last: visibility is gated by the Start Time slot.
+  r->inserts.StartTimeSlot(seq)->store(txn->id(), std::memory_order_release);
+
+  {
+    SpinGuard sg(secondary_latch_);
+    for (auto& s : secondaries_) {
+      s.index->Add(row[s.col], rid);
+    }
+  }
+
+  txn->writeset().push_back(
+      WriteEntry{r->id, slot, seq, /*is_insert=*/true, row[0], this});
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  MaybeScheduleMerge(*r);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Update / Delete (Section 3.1)
+// ---------------------------------------------------------------------------
+
+Status Table::Update(Transaction* txn, Value key, ColumnMask mask,
+                     const std::vector<Value>& row) {
+  if (mask == 0 || (mask & 1ull) != 0) {
+    return Status::InvalidArgument("cannot update key column / empty mask");
+  }
+  if ((mask & ~schema_.AllColumns()) != 0) {
+    return Status::InvalidArgument("mask has unknown columns");
+  }
+  Rid rid = primary_.Get(key);
+  if (rid == kInvalidRid) return Status::NotFound("no such key");
+  Range* r = GetRange(RangeOf(rid));
+  if (r == nullptr) return Status::NotFound("no such range");
+  return WriteTailVersion(txn, *r, SlotOf(rid), mask, row, false);
+}
+
+Status Table::Delete(Transaction* txn, Value key) {
+  Rid rid = primary_.Get(key);
+  if (rid == kInvalidRid) return Status::NotFound("no such key");
+  Range* r = GetRange(RangeOf(rid));
+  if (r == nullptr) return Status::NotFound("no such range");
+  static const std::vector<Value> kEmpty;
+  Status s = WriteTailVersion(txn, *r, SlotOf(rid), 0, kEmpty, true);
+  if (s.ok()) stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
+                               ColumnMask mask, const std::vector<Value>& row,
+                               bool is_delete) {
+  EpochGuard guard(epochs_);
+  auto& ind = r.indirection[slot];
+
+  // Step 1 of write-write conflict detection: CAS the latch bit
+  // (Section 5.1.1). A set latch bit means a concurrent writer.
+  uint64_t iv = ind.load(std::memory_order_acquire);
+  for (;;) {
+    if (IndirLatched(iv)) {
+      stats_.ww_aborts.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("write-write conflict (latch)");
+    }
+    if (ind.compare_exchange_weak(iv, iv | kIndirLatchBit,
+                                  std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  uint32_t prev_seq = IndirSeq(iv);
+
+  // Step 2: inspect the start time of the latest version.
+  Value latest_raw =
+      prev_seq != 0
+          ? r.updates.Read(prev_seq, kTailStartTime)
+          : (slot < r.based.load(std::memory_order_acquire)
+                 ? BaseMetaValue(r, slot, kBaseStartTime)
+                 : r.inserts.Read(slot + 1, kTailStartTime));
+  if (IsTxnId(latest_raw) && latest_raw != txn->id()) {
+    TransactionManager::StateView view = txn_manager_->GetState(latest_raw);
+    if (view.found && (view.state == TxnState::kActive ||
+                       view.state == TxnState::kPreCommit)) {
+      ind.store(iv, std::memory_order_release);  // release latch
+      stats_.ww_aborts.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("write-write conflict (uncommitted version)");
+    }
+  }
+
+  // Reject updates of deleted records: find the newest non-aborted
+  // version and check its delete flag.
+  {
+    uint32_t boundary = r.historic_boundary.load(std::memory_order_acquire);
+    uint32_t s = prev_seq;
+    while (s != 0 && s >= boundary &&
+           IsAbortedStamp(r.updates.Read(s, kTailStartTime))) {
+      s = static_cast<uint32_t>(r.updates.Read(s, kTailIndirection));
+    }
+    bool deleted = false;
+    if (s != 0 && s >= boundary) {
+      deleted = IsDeleteRecord(r.updates.Read(s, kTailSchemaEncoding));
+    } else if (s != 0) {
+      HistoricStore* hist = r.historic.load(std::memory_order_acquire);
+      if (hist != nullptr) {
+        auto versions = hist->VersionsOf(slot);
+        for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+          if (it->seq > s) continue;
+          deleted = IsDeleteRecord(it->schema_encoding);
+          break;
+        }
+      }
+    } else if (slot < r.based.load(std::memory_order_acquire)) {
+      deleted = IsDeleteRecord(BaseMetaValue(r, slot, kBaseSchemaEnc)) &&
+                prev_seq == 0;
+    } else {
+      deleted = IsAbortedStamp(r.inserts.Read(slot + 1, kTailStartTime));
+    }
+    if (deleted) {
+      ind.store(iv, std::memory_order_release);
+      return Status::NotFound("record deleted");
+    }
+  }
+
+  uint64_t ever = r.ever_updated[slot].load(std::memory_order_relaxed);
+  ColumnMask newly = mask & ~ever;
+  uint32_t back = prev_seq;
+
+  // Pre-image snapshot on the first update of a column (Section 3.1 /
+  // Lemma 2): capture the original values so outdated base pages can
+  // be discarded after merges without information loss.
+  uint32_t snap_seq = 0;
+  if (newly != 0) {
+    snap_seq = r.updates.ReserveSeq();
+    if (snap_seq > kMaxTailSeq) {
+      ind.store(iv, std::memory_order_release);
+      return Status::Busy("tail sequence space exhausted for range");
+    }
+    for (BitIter it(newly); it; ++it) {
+      r.updates.Write(snap_seq, kTailMetaColumns + static_cast<uint32_t>(*it),
+                      BaseDataValue(r, slot, static_cast<ColumnId>(*it)));
+    }
+    r.updates.Write(snap_seq, kTailIndirection, back);
+    r.updates.Write(snap_seq, kTailBaseRid, slot);
+    r.updates.Write(snap_seq, kTailSchemaEncoding, newly | kSnapshotFlag);
+    back = snap_seq;
+  }
+
+  uint32_t new_seq = r.updates.ReserveSeq();
+  if (new_seq > kMaxTailSeq) {
+    ind.store(iv, std::memory_order_release);
+    return Status::Busy("tail sequence space exhausted for range");
+  }
+
+  // Cumulative updates (Section 3.1), reset at the TPS high-water mark
+  // (Section 4.2, Table 5).
+  ColumnMask carry = 0;
+  if (config_.cumulative_updates && prev_seq != 0 && !is_delete &&
+      prev_seq > r.merged_tps.load(std::memory_order_acquire) &&
+      prev_seq >= r.historic_boundary.load(std::memory_order_acquire)) {
+    Value prev_raw = r.updates.Read(prev_seq, kTailStartTime);
+    Value prev_enc = r.updates.Read(prev_seq, kTailSchemaEncoding);
+    // Carry only from versions with a known-good outcome: a stamped
+    // commit time or our own (an unstamped foreign txn id may belong
+    // to an aborted transaction whose tombstone is still in flight).
+    bool prev_trusted =
+        !IsAbortedStamp(prev_raw) &&
+        (!IsTxnId(prev_raw) || prev_raw == txn->id());
+    if (prev_trusted && !IsSnapshotRecord(prev_enc) &&
+        !IsDeleteRecord(prev_enc)) {
+      carry = SchemaColumns(prev_enc) & ~mask;
+    }
+  }
+
+  // Same-transaction stacking: if the new record covers every column
+  // of the previous own record, the old one is superseded and readers
+  // skip it even post-commit (Section 3.1). Written under the latch;
+  // the record is still invisible to others (our txn is uncommitted).
+  if (prev_seq != 0 && latest_raw == txn->id()) {
+    Value prev_enc2 = r.updates.Read(prev_seq, kTailSchemaEncoding);
+    ColumnMask prev_cols = SchemaColumns(prev_enc2);
+    if (!IsSnapshotRecord(prev_enc2) &&
+        ((mask | carry) & prev_cols) == prev_cols) {
+      r.updates.Write(prev_seq, kTailSchemaEncoding,
+                      prev_enc2 | kSupersededFlag);
+    }
+  }
+
+  uint64_t enc = mask | carry | (is_delete ? kDeleteFlag : 0);
+  for (BitIter it(carry); it; ++it) {
+    r.updates.Write(new_seq, kTailMetaColumns + static_cast<uint32_t>(*it),
+                    r.updates.Read(prev_seq, kTailMetaColumns +
+                                                 static_cast<uint32_t>(*it)));
+  }
+  if (!is_delete) {
+    for (BitIter it(mask); it; ++it) {
+      r.updates.Write(new_seq, kTailMetaColumns + static_cast<uint32_t>(*it),
+                      row[*it]);
+    }
+  }
+  r.updates.Write(new_seq, kTailIndirection, back);
+  r.updates.Write(new_seq, kTailBaseRid, slot);
+  r.updates.Write(new_seq, kTailSchemaEncoding, enc);
+
+  // The pre-image snapshot inherits the old version's start time
+  // (Table 2: t1 carries b2's 13:04).
+  Value base_start = 0;
+  if (snap_seq != 0) {
+    base_start = slot < r.based.load(std::memory_order_acquire)
+                     ? BaseMetaValue(r, slot, kBaseStartTime)
+                     : r.inserts.Read(slot + 1, kTailStartTime);
+  }
+
+  if (log_ != nullptr) {
+    if (snap_seq != 0) {
+      LogTailAppend(r, snap_seq, false, base_start, txn->id());
+    }
+    LogTailAppend(r, new_seq, false, txn->id(), txn->id());
+  }
+
+  // Publish start times; the new version carries our txn id until the
+  // outcome is stamped.
+  if (snap_seq != 0) {
+    r.updates.StartTimeSlot(snap_seq)->store(base_start,
+                                             std::memory_order_release);
+    txn->writeset().push_back(
+        WriteEntry{r.id, slot, snap_seq, /*is_insert=*/false, 0, this});
+  }
+  r.updates.StartTimeSlot(new_seq)->store(txn->id(),
+                                          std::memory_order_release);
+
+  if (mask != 0) {
+    r.ever_updated[slot].fetch_or(mask, std::memory_order_relaxed);
+  }
+
+  // Secondary index maintenance: add new postings (old postings are
+  // removed lazily, Section 3.1 footnote 3).
+  if (!is_delete) {
+    SpinGuard sg(secondary_latch_);
+    for (auto& s : secondaries_) {
+      if (mask & (1ull << s.col)) {
+        s.index->Add(row[s.col], r.id * config_.range_size + slot);
+      }
+    }
+  }
+
+  txn->writeset().push_back(
+      WriteEntry{r.id, slot, new_seq, /*is_insert=*/false, 0, this});
+
+  // Release the latch and publish the new chain head: the only
+  // in-place update in the architecture.
+  ind.store(new_seq, std::memory_order_release);
+
+  stats_.updates.fetch_add(1, std::memory_order_relaxed);
+  MaybeScheduleMerge(r);
+  return Status::OK();
+}
+
+void Table::LogTailAppend(const Range& r, uint32_t seq, bool insert,
+                          Value start_raw, TxnId txn_id) {
+  const TailSegment& seg = insert ? r.inserts : r.updates;
+  LogRecord rec;
+  rec.type =
+      insert ? LogRecordType::kInsertAppend : LogRecordType::kTailAppend;
+  rec.txn_id = txn_id;
+  rec.range_id = r.id;
+  rec.seq = seq;
+  rec.base_slot = static_cast<uint32_t>(seg.Read(seq, kTailBaseRid));
+  rec.backptr = static_cast<uint32_t>(seg.Read(seq, kTailIndirection));
+  rec.schema_encoding = seg.Read(seq, kTailSchemaEncoding);
+  rec.start_raw = start_raw;
+  ColumnMask cols = SchemaColumns(rec.schema_encoding);
+  rec.mask = cols;
+  for (BitIter it(cols); it; ++it) {
+    rec.values.push_back(
+        seg.Read(seq, kTailMetaColumns + static_cast<uint32_t>(*it)));
+  }
+  log_->Append(rec);
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status Table::Read(Transaction* txn, Value key, ColumnMask mask,
+                   std::vector<Value>* out) {
+  out->assign(schema_.num_columns(), kNull);
+  Rid rid = primary_.Get(key);
+  if (rid == kInvalidRid) return Status::NotFound("no such key");
+  Range* r = GetRange(RangeOf(rid));
+  if (r == nullptr) return Status::NotFound("no such range");
+  EpochGuard guard(epochs_);
+  Timestamp as_of = txn->isolation() == IsolationLevel::kReadCommitted
+                        ? kMaxTimestamp
+                        : txn->begin_time();
+  ReadSpec spec{as_of, txn, /*speculative=*/false};
+  uint32_t observed = 0;
+  Status s = ResolveRecord(*r, SlotOf(rid), spec, mask, out, &observed);
+  txn->readset().push_back(
+      ReadEntry{r->id, SlotOf(rid), observed, /*speculative=*/false, 0, this});
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status Table::SpeculativeRead(Transaction* txn, Value key, ColumnMask mask,
+                              std::vector<Value>* out) {
+  out->assign(schema_.num_columns(), kNull);
+  Rid rid = primary_.Get(key);
+  if (rid == kInvalidRid) return Status::NotFound("no such key");
+  Range* r = GetRange(RangeOf(rid));
+  if (r == nullptr) return Status::NotFound("no such range");
+  EpochGuard guard(epochs_);
+  Timestamp as_of = txn->isolation() == IsolationLevel::kReadCommitted
+                        ? kMaxTimestamp
+                        : txn->begin_time();
+  ReadSpec spec{as_of, txn, /*speculative=*/true};
+  size_t deps_before = txn->commit_dependencies().size();
+  uint32_t observed = 0;
+  Status s = ResolveRecord(*r, SlotOf(rid), spec, mask, out, &observed);
+  bool speculated = txn->commit_dependencies().size() > deps_before;
+  TxnId dep = speculated ? txn->commit_dependencies().back() : 0;
+  txn->readset().push_back(
+      ReadEntry{r->id, SlotOf(rid), observed, speculated, dep, this});
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status Table::ReadAsOf(Value key, Timestamp as_of, ColumnMask mask,
+                       std::vector<Value>* out) {
+  out->assign(schema_.num_columns(), kNull);
+  Rid rid = primary_.Get(key);
+  if (rid == kInvalidRid) return Status::NotFound("no such key");
+  Range* r = GetRange(RangeOf(rid));
+  if (r == nullptr) return Status::NotFound("no such range");
+  EpochGuard guard(epochs_);
+  ReadSpec spec{as_of, nullptr, /*speculative=*/false};
+  return ResolveRecord(*r, SlotOf(rid), spec, mask, out, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+Status Table::SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum,
+                        uint64_t* visible_rows) const {
+  LSTORE_RETURN_IF_ERROR(SumColumnRange(col, as_of, 0, num_rows(), sum));
+  if (visible_rows != nullptr) {
+    uint64_t rows = 0;
+    LSTORE_RETURN_IF_ERROR(
+        ScanColumn(col, as_of, [&rows](Value, Value) { ++rows; }));
+    *visible_rows = rows;
+  }
+  return Status::OK();
+}
+
+Status Table::ScanColumn(ColumnId col, Timestamp as_of,
+                         const std::function<void(Value, Value)>& fn) const {
+  if (col >= schema_.num_columns()) {
+    return Status::InvalidArgument("bad column");
+  }
+  EpochGuard guard(epochs_);
+  std::vector<Value> tmp(schema_.num_columns(), kNull);
+  ColumnMask mask = 1ull << col;
+  uint64_t nranges = num_ranges();
+  for (uint64_t rid = 0; rid < nranges; ++rid) {
+    Range* r = GetRange(rid);
+    if (r == nullptr) continue;
+    uint32_t occ = r->occupied.load(std::memory_order_acquire);
+    for (uint32_t slot = 0; slot < occ; ++slot) {
+      ReadSpec spec{as_of, nullptr, false};
+      std::fill(tmp.begin(), tmp.end(), kNull);
+      Status s = ResolveRecord(*r, slot, spec, mask | 1ull, &tmp, nullptr);
+      if (s.ok()) fn(tmp[0], tmp[col]);
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::SumColumnRange(ColumnId col, Timestamp as_of,
+                             uint64_t first_row, uint64_t row_count,
+                             uint64_t* sum) const {
+  if (col >= schema_.num_columns()) {
+    return Status::InvalidArgument("bad column");
+  }
+  EpochGuard guard(epochs_);
+  uint64_t acc = 0;
+  std::vector<Value> tmp(schema_.num_columns(), kNull);
+  ColumnMask mask = 1ull << col;
+  uint64_t end_row = first_row + row_count;
+  uint64_t total = num_rows();
+  if (end_row > total) end_row = total;
+
+  for (uint64_t row = first_row; row < end_row;) {
+    Range* r = GetRange(row / config_.range_size);
+    uint64_t range_first = (row / config_.range_size) * config_.range_size;
+    uint64_t range_end = range_first + config_.range_size;
+    if (range_end > end_row) range_end = end_row;
+    if (r == nullptr) {
+      row = range_end;
+      continue;
+    }
+    uint32_t occ = r->occupied.load(std::memory_order_acquire);
+    uint64_t slot_end = range_end - range_first;
+    if (slot_end > occ) slot_end = occ;
+
+    BaseSegment* seg = Segment(*r, col);
+    BaseSegment* seg_lut =
+        r->base[schema_.num_columns() + kBaseLastUpdated].load(
+            std::memory_order_acquire);
+    BaseSegment* seg_enc =
+        r->base[schema_.num_columns() + kBaseSchemaEnc].load(
+            std::memory_order_acquire);
+    BaseSegment* seg_start =
+        r->base[schema_.num_columns() + kBaseStartTime].load(
+            std::memory_order_acquire);
+    // Lemma 3: a concurrent merge may have swapped some of these
+    // pointers but not others; mixed merge generations are detectable
+    // by comparing the in-page lineage. Repair per Theorem 2 by
+    // falling back to the chain walk (disable the fast path).
+    if (seg != nullptr &&
+        (seg_lut == nullptr || seg_enc == nullptr || seg_start == nullptr ||
+         seg_lut->tps != seg->tps || seg_enc->tps != seg->tps)) {
+      seg = nullptr;
+    }
+
+    for (uint32_t slot = static_cast<uint32_t>(row - range_first);
+         slot < slot_end; ++slot) {
+      // Fast path: the merged base segment already covers the chain
+      // head and the merge horizon is visible at as_of.
+      if (seg != nullptr && slot < seg->num_slots && seg_lut != nullptr &&
+          seg_enc != nullptr && seg_start != nullptr) {
+        uint64_t ivr = r->indirection[slot].load(std::memory_order_acquire);
+        uint32_t seq = IndirSeq(ivr);
+        if (seq <= seg->tps) {
+          Value lut = seg_lut->data->Get(slot);
+          Value start = seg_start->data->Get(slot);
+          bool horizon_ok =
+              as_of == kMaxTimestamp || (lut != kNull && lut < as_of);
+          if (horizon_ok && start != kNull && start < as_of) {
+            Value enc = seg_enc->data->Get(slot);
+            Value fast_val = IsDeleteRecord(enc) ? kNull : seg->data->Get(slot);
+            static const bool kVerifyScans =
+                getenv("LSTORE_SCAN_VERIFY") != nullptr;
+            if (kVerifyScans) {
+              ReadSpec vspec{as_of, nullptr, false};
+              std::vector<Value> vtmp(schema_.num_columns(), kNull);
+              Status vs = ResolveRecord(*r, slot, vspec, mask, &vtmp, nullptr);
+              Value slow_val = vs.ok() ? vtmp[col] : kNull;
+              if (slow_val != fast_val) {
+                std::fprintf(stderr,
+                             "FASTPATH DIVERGE slot=%u fast=%llu slow=%llu "
+                             "seq=%u tps=%u lut=%llu start=%llu as_of=%llu "
+                             "enc=%llx\n",
+                             slot, (unsigned long long)fast_val,
+                             (unsigned long long)slow_val, seq, seg->tps,
+                             (unsigned long long)lut,
+                             (unsigned long long)start,
+                             (unsigned long long)as_of,
+                             (unsigned long long)enc);
+              }
+            }
+            if (fast_val != kNull) acc += fast_val;
+            continue;
+          }
+          if (start == kNull) continue;  // aborted insert slot
+        }
+      }
+      // Slow path: resolve through the lineage chain.
+      ReadSpec spec{as_of, nullptr, false};
+      tmp[col] = kNull;
+      Status s = ResolveRecord(*r, slot, spec, mask, &tmp, nullptr);
+      if (s.ok() && tmp[col] != kNull) acc += tmp[col];
+    }
+    row = range_end;
+  }
+  *sum = acc;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Secondary indexes
+// ---------------------------------------------------------------------------
+
+void Table::CreateSecondaryIndex(ColumnId col) {
+  auto index = std::make_unique<SecondaryIndex>();
+  // Backfill from current visible data.
+  ScanColumn(col, kMaxTimestamp, [&](Value key, Value v) {
+    Rid rid = primary_.Get(key);
+    if (rid != kInvalidRid) index->Add(v, rid);
+  });
+  SpinGuard sg(secondary_latch_);
+  secondaries_.push_back(SecondaryEntry{col, std::move(index)});
+}
+
+std::vector<Value> Table::SelectKeysWhere(ColumnId col, Value v,
+                                          Timestamp as_of) const {
+  std::vector<Rid> candidates;
+  {
+    SpinGuard sg(secondary_latch_);
+    for (const auto& s : secondaries_) {
+      if (s.col == col) {
+        candidates = s.index->Lookup(v);
+        break;
+      }
+    }
+  }
+  std::vector<Value> keys;
+  EpochGuard guard(epochs_);
+  std::vector<Value> tmp(schema_.num_columns(), kNull);
+  for (Rid rid : candidates) {
+    Range* r = GetRange(RangeOf(rid));
+    if (r == nullptr) continue;
+    ReadSpec spec{as_of, nullptr, false};
+    std::fill(tmp.begin(), tmp.end(), kNull);
+    // Re-evaluate the predicate on the visible version (Section 3.1).
+    Status s =
+        ResolveRecord(*r, SlotOf(rid), spec, (1ull << col) | 1ull, &tmp,
+                      nullptr);
+    if (s.ok() && tmp[col] == v) keys.push_back(tmp[0]);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance entry points (bodies in merge.cc / historic.cc)
+// ---------------------------------------------------------------------------
+
+void Table::MaybeScheduleMerge(Range& r) {
+  if (!config_.enable_merge_thread || merge_manager_ == nullptr) return;
+  uint32_t unmerged =
+      r.updates.LastSeq() - r.merged_tps.load(std::memory_order_acquire);
+  uint32_t unbased = r.occupied.load(std::memory_order_acquire) -
+                     r.based.load(std::memory_order_acquire);
+  bool full = r.occupied.load(std::memory_order_acquire) >=
+              config_.range_size;
+  if (unmerged >= config_.merge_threshold ||
+      unbased >= std::min(config_.range_size, config_.merge_threshold) ||
+      (full && unbased > 0)) {
+    bool expected = false;
+    if (r.queued.compare_exchange_strong(expected, true)) {
+      merge_manager_->Enqueue(r.id);
+    }
+  }
+}
+
+bool Table::MergeRangeNow(uint64_t range_id) {
+  Range* r = GetRange(range_id);
+  if (r == nullptr) return false;
+  return RunUpdateMerge(*r, schema_.AllColumns(), true);
+}
+
+bool Table::MergeRangeColumns(uint64_t range_id, ColumnMask cols) {
+  Range* r = GetRange(range_id);
+  if (r == nullptr) return false;
+  return RunUpdateMerge(*r, cols, false);
+}
+
+bool Table::InsertMergeNow(uint64_t range_id) {
+  Range* r = GetRange(range_id);
+  if (r == nullptr) return false;
+  return RunInsertMerge(*r);
+}
+
+size_t Table::CompressHistoricNow(uint64_t range_id) {
+  Range* r = GetRange(range_id);
+  if (r == nullptr) return 0;
+  return RunHistoricCompression(*r);
+}
+
+void Table::FlushAll() {
+  uint64_t nranges = num_ranges();
+  for (uint64_t i = 0; i < nranges; ++i) {
+    Range* r = GetRange(i);
+    if (r == nullptr) continue;
+    RunInsertMerge(*r);
+    RunUpdateMerge(*r, schema_.AllColumns(), true);
+  }
+  epochs_.TryReclaim();
+}
+
+void Table::WaitForMergeQueue() {
+  if (merge_manager_) merge_manager_->Drain();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (Section 5.1.3)
+// ---------------------------------------------------------------------------
+
+Status Table::RecoverFromLog() {
+  if (config_.log_path.empty()) {
+    return Status::InvalidArgument("no log path configured");
+  }
+  // Writing must not append to the file we replay; close first.
+  if (log_ != nullptr) log_->Close();
+
+  std::vector<LogRecord> appends;
+  std::unordered_map<TxnId, Timestamp> commits;
+  std::unordered_map<TxnId, bool> aborted;
+  Status rs = RedoLog::Replay(config_.log_path, [&](const LogRecord& rec) {
+    switch (rec.type) {
+      case LogRecordType::kCommit:
+        commits[rec.txn_id] = rec.commit_time;
+        break;
+      case LogRecordType::kAbort:
+        aborted[rec.txn_id] = true;
+        break;
+      default:
+        appends.push_back(rec);
+        break;
+    }
+  });
+  if (!rs.ok()) return rs;
+
+  Timestamp max_time = 0;
+  // Apply appends at their original positions.
+  for (const LogRecord& rec : appends) {
+    Range* r = EnsureRange(rec.range_id);
+    TailSegment& seg = rec.type == LogRecordType::kInsertAppend
+                           ? r->inserts
+                           : r->updates;
+    if (rec.type == LogRecordType::kTailAppend) {
+      r->updates.AdvanceSeq(rec.seq);
+    } else {
+      AtomicMaxU32(r->occupied, rec.base_slot + 1);
+      uint64_t row_bound =
+          rec.range_id * config_.range_size + rec.base_slot + 1;
+      uint64_t cur = next_row_.load(std::memory_order_relaxed);
+      while (cur < row_bound && !next_row_.compare_exchange_weak(
+                                    cur, row_bound,
+                                    std::memory_order_relaxed)) {
+      }
+    }
+    int vi = 0;
+    for (BitIter it(rec.mask); it; ++it, ++vi) {
+      seg.Write(rec.seq, kTailMetaColumns + static_cast<uint32_t>(*it),
+                rec.values[vi]);
+    }
+    seg.Write(rec.seq, kTailIndirection, rec.backptr);
+    seg.Write(rec.seq, kTailBaseRid, rec.base_slot);
+    seg.Write(rec.seq, kTailSchemaEncoding, rec.schema_encoding);
+
+    // Outcome: commit time, aborted stamp, or (crash before outcome)
+    // aborted stamp as well.
+    Value start;
+    auto it = commits.find(rec.txn_id);
+    if (it != commits.end()) {
+      start = it->second;
+      if (start > max_time) max_time = start;
+    } else if (rec.start_raw != 0 && !IsTxnId(rec.start_raw)) {
+      // Pre-image snapshot record carrying an old commit time.
+      start = rec.start_raw;
+    } else {
+      start = kAbortedStamp;
+    }
+    // Snapshot records of committed transactions carry the *old*
+    // version's start time, not the commit time.
+    if (IsSnapshotRecord(rec.schema_encoding) && rec.start_raw != 0 &&
+        !IsTxnId(rec.start_raw)) {
+      start = rec.start_raw;
+    }
+    seg.StartTimeSlot(rec.seq)->store(start, std::memory_order_release);
+
+    if (rec.type == LogRecordType::kInsertAppend &&
+        it != commits.end()) {
+      // Rebuild the primary index from committed inserts.
+      primary_.Insert(rec.values[0], rec.range_id * config_.range_size +
+                                         rec.base_slot);
+    }
+  }
+
+  // Rebuild the Indirection column (recovery option 2 of Section
+  // 5.1.3): newest committed tail record per base slot wins.
+  for (const LogRecord& rec : appends) {
+    if (rec.type != LogRecordType::kTailAppend) continue;
+    if (commits.find(rec.txn_id) == commits.end()) continue;
+    Range* r = GetRange(rec.range_id);
+    if (r == nullptr) continue;
+    uint64_t cur = r->indirection[rec.base_slot].load(std::memory_order_relaxed);
+    if (rec.seq > IndirSeq(cur)) {
+      r->indirection[rec.base_slot].store(rec.seq, std::memory_order_release);
+    }
+    r->ever_updated[rec.base_slot].fetch_or(
+        SchemaColumns(rec.schema_encoding), std::memory_order_relaxed);
+  }
+
+  txn_manager_->clock().AdvanceTo(max_time + 1);
+
+  // Resume logging (append mode).
+  if (config_.enable_logging) {
+    log_ = std::make_unique<RedoLog>();
+    LSTORE_RETURN_IF_ERROR(log_->Open(config_.log_path, /*truncate=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace lstore

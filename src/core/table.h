@@ -1,0 +1,367 @@
+// L-Store table: the lineage-based storage architecture (Sections 2-5).
+//
+// One Table owns:
+//  * update ranges (base page segments + tail segments + the in-place
+//    Indirection column),
+//  * insert ranges backed by table-level tail pages (Section 3.2),
+//  * a primary index (key -> base RID) and optional secondary indexes,
+//  * a background merge thread (Section 4.1) with epoch-based page
+//    reclamation (Figure 6),
+//  * historic compression of merged tail pages (Section 4.3),
+//  * optional redo-only logging with crash recovery (Section 5.1.3).
+//
+// Thread safety: all public operations are safe for concurrent use.
+// Readers never latch pages; writers synchronize per record through
+// the Indirection latch bit (Section 5.1.1).
+
+#ifndef LSTORE_CORE_TABLE_H_
+#define LSTORE_CORE_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/epoch.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/schema.h"
+#include "index/primary_index.h"
+#include "index/secondary_index.h"
+#include "log/redo_log.h"
+#include "storage/compressed_column.h"
+#include "storage/tail_segment.h"
+#include "txn/transaction.h"
+#include "txn/transaction_manager.h"
+
+namespace lstore {
+
+class MergeManager;
+class HistoricStore;
+
+/// Read-optimized form of one physical column of one update range,
+/// carrying its in-page lineage (Section 4.2).
+struct BaseSegment {
+  /// Tail-page sequence number: how many tail records of the range
+  /// have been consolidated into this segment.
+  uint32_t tps = 0;
+  /// Number of base slots covered (== insert-merged prefix length).
+  uint32_t num_slots = 0;
+  std::shared_ptr<CompressedColumn> data;
+};
+
+/// Physical base columns beyond the data columns.
+/// (The Indirection column is *not* a segment: it is the in-place
+/// updated atomic array.)
+enum BaseMetaColumn : uint32_t {
+  kBaseStartTime = 0,   ///< original insertion commit time (preserved)
+  kBaseLastUpdated = 1, ///< start time of the newest merged tail record
+  kBaseSchemaEnc = 2,   ///< merged schema encoding (incl. delete flag)
+};
+inline constexpr uint32_t kBaseMetaColumns = 3;
+
+/// Aggregate counters exposed for benchmarks and tests.
+struct TableStats {
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> ww_aborts{0};          ///< write-write conflicts
+  std::atomic<uint64_t> validation_aborts{0};
+  std::atomic<uint64_t> merges{0};             ///< update merges completed
+  std::atomic<uint64_t> insert_merges{0};
+  std::atomic<uint64_t> tail_records_merged{0};
+  std::atomic<uint64_t> segments_retired{0};
+  std::atomic<uint64_t> historic_compressions{0};
+  std::atomic<uint64_t> tail_chain_hops{0};    ///< reads that left base pages
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema, TableConfig config,
+        TransactionManager* txn_manager = nullptr);
+
+  /// Unnamed-table convenience constructor.
+  Table(Schema schema, TableConfig config,
+        TransactionManager* txn_manager = nullptr)
+      : Table("table", std::move(schema), std::move(config), txn_manager) {}
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // --- transactions --------------------------------------------------------
+
+  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
+
+  /// Validate reads (per isolation level), write the commit log
+  /// record, and atomically publish the transaction (Section 5.1.1).
+  Status Commit(Transaction* txn);
+
+  /// Roll back: stamp this transaction's tail records as aborted
+  /// tombstones (no physical removal, Section 5.1.3).
+  void Abort(Transaction* txn);
+
+  // Commit protocol phases, exposed so Database can orchestrate
+  // transactions spanning multiple tables that share a manager.
+
+  /// Validate this table's share of the readset at `commit_time`.
+  Status ValidateReads(Transaction* txn, Timestamp commit_time);
+  /// Append + flush the commit record to this table's redo log.
+  Status WriteCommitRecord(Transaction* txn, Timestamp commit_time);
+  /// Stamp this table's writes with the outcome (commit time or
+  /// kAbortedStamp); rolls back inserted index keys on abort.
+  void StampWrites(Transaction* txn, Value outcome);
+
+  // --- fine-grained manipulation (Section 3) -------------------------------
+
+  /// Insert a full row; row[0] is the primary key.
+  Status Insert(Transaction* txn, const std::vector<Value>& row);
+
+  /// Update the columns in `mask` to `row[col]` for each set bit.
+  /// Column 0 (the key) must not be updated.
+  Status Update(Transaction* txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row);
+
+  /// Delete = update writing the delete tombstone (Section 3.1).
+  Status Delete(Transaction* txn, Value key);
+
+  /// Read the columns in `mask` of the visible version into
+  /// out[col] (out is resized to num_columns; unrequested cols = ∅).
+  Status Read(Transaction* txn, Value key, ColumnMask mask,
+              std::vector<Value>* out);
+
+  /// Speculative read ([18]): also sees pre-commit versions and adds
+  /// a commit dependency.
+  Status SpeculativeRead(Transaction* txn, Value key, ColumnMask mask,
+                         std::vector<Value>* out);
+
+  /// Time-travel point read at a historical timestamp (no txn).
+  Status ReadAsOf(Value key, Timestamp as_of, ColumnMask mask,
+                  std::vector<Value>* out);
+
+  // --- analytics ------------------------------------------------------------
+
+  /// Snapshot SUM over one column (Section 6.2 scan workload):
+  /// sums the column over every record visible at `as_of`.
+  Status SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum,
+                   uint64_t* visible_rows) const;
+
+  /// Snapshot scan delivering (key, value) pairs of `col`.
+  Status ScanColumn(ColumnId col, Timestamp as_of,
+                    const std::function<void(Value key, Value v)>& fn) const;
+
+  /// Scan a contiguous fraction of the table (the "10% of the data"
+  /// analytical queries of Section 6.1): rows [first_row, first_row +
+  /// row_count) in base-RID order.
+  Status SumColumnRange(ColumnId col, Timestamp as_of, uint64_t first_row,
+                        uint64_t row_count, uint64_t* sum) const;
+
+  // --- secondary indexes (Section 3.1) --------------------------------------
+
+  void CreateSecondaryIndex(ColumnId col);
+
+  /// Keys whose visible version has `col == v` (index candidates are
+  /// re-checked against the snapshot, as the paper prescribes).
+  std::vector<Value> SelectKeysWhere(ColumnId col, Value v,
+                                     Timestamp as_of) const;
+
+  // --- maintenance -----------------------------------------------------------
+
+  /// Foreground merge of one range (tests/benchmarks). Returns true
+  /// if any tail records were consolidated.
+  bool MergeRangeNow(uint64_t range_id);
+
+  /// Foreground merge restricted to the given data columns —
+  /// exercises independent per-column merging (Section 4.2, Lemma 3).
+  bool MergeRangeColumns(uint64_t range_id, ColumnMask cols);
+
+  /// Insert-merge: turn table-level tail pages into base segments for
+  /// the committed prefix of the range (Section 3.2).
+  bool InsertMergeNow(uint64_t range_id);
+
+  /// Compress merged tail records older than every active snapshot
+  /// into the historic store (Section 4.3). Returns #versions moved.
+  size_t CompressHistoricNow(uint64_t range_id);
+
+  /// Insert-merge every range up to current occupancy and run update
+  /// merges until quiescent. For loading phases and tests.
+  void FlushAll();
+
+  /// Drain the merge queue (waits for the background thread).
+  void WaitForMergeQueue();
+
+  // --- introspection ---------------------------------------------------------
+
+  const Schema& schema() const { return schema_; }
+  const TableConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+  TransactionManager& txn_manager() { return *txn_manager_; }
+  EpochManager& epochs() const { return epochs_; }
+  TableStats& stats() const { return stats_; }
+  uint64_t num_rows() const { return next_row_.load(std::memory_order_acquire); }
+  uint64_t num_ranges() const;
+  uint32_t RangeTps(uint64_t range_id) const;
+  uint32_t RangeTailLength(uint64_t range_id) const;
+
+  /// For tests (Lemma 3): per-data-column TPS of a range.
+  std::vector<uint32_t> RangeColumnTps(uint64_t range_id) const;
+
+  /// Debug introspection: the version chain of a key, newest first.
+  struct ChainEntry {
+    uint32_t seq;
+    Value raw_start;
+    uint64_t schema_encoding;
+    Value col_value;  ///< value of `col` in that record (∅ if absent)
+  };
+  std::vector<ChainEntry> DebugChain(Value key, ColumnId col) const;
+
+  /// Recover table contents by replaying the redo log at
+  /// config.log_path (call on a freshly constructed, empty table).
+  Status RecoverFromLog();
+
+ private:
+  friend class MergeManager;
+
+  struct Range {
+    uint64_t id = 0;
+    /// Inserted slots (monotone).
+    std::atomic<uint32_t> occupied{0};
+    /// Slots covered by base segments (insert-merged prefix).
+    std::atomic<uint32_t> based{0};
+    /// The in-place Indirection column (latch bit + latest tail seq).
+    std::unique_ptr<std::atomic<uint64_t>[]> indirection;
+    /// Ever-updated column mask per base record (base Schema Encoding,
+    /// maintained under the indirection latch).
+    std::unique_ptr<std::atomic<uint64_t>[]> ever_updated;
+    /// Table-level tail pages (inserts; all columns materialized).
+    TailSegment inserts;
+    /// Regular tail pages (updates; lazy per-column allocation).
+    TailSegment updates;
+    /// Base segments: [0..num_cols) data, then kBaseMetaColumns.
+    std::vector<std::atomic<BaseSegment*>> base;
+    /// Highest TPS across segments (merge bookkeeping).
+    std::atomic<uint32_t> merged_tps{0};
+    /// Tail seqs < boundary live in the historic store.
+    std::atomic<uint32_t> historic_boundary{1};
+    std::atomic<HistoricStore*> historic{nullptr};
+    /// Set while queued for background merge.
+    std::atomic<bool> queued{false};
+    /// Serializes merges of this range.
+    SpinLatch merge_latch;
+
+    Range(uint64_t id, uint32_t range_size, uint32_t num_cols,
+          uint32_t tail_page_slots);
+  };
+
+  // Internal read machinery -------------------------------------------------
+
+  struct ReadSpec {
+    Timestamp as_of;        ///< kMaxTimestamp = latest committed
+    Transaction* txn;       ///< may be null (pure snapshot read)
+    bool speculative;       ///< allow pre-commit versions
+  };
+
+  enum class Visibility { kVisible, kInvisible, kVisibleSpeculative };
+
+  Range* GetRange(uint64_t id) const;
+  Range* EnsureRange(uint64_t id);
+  uint64_t RangeOf(Rid rid) const { return rid / config_.range_size; }
+  uint32_t SlotOf(Rid rid) const {
+    return static_cast<uint32_t>(rid % config_.range_size);
+  }
+
+  /// Resolve the visible version of (range, slot): fills out[col] for
+  /// the requested mask; reports the visible version's seq (0 = base)
+  /// and whether the record is deleted / not visible.
+  Status ResolveRecord(Range& r, uint32_t slot, const ReadSpec& spec,
+                       ColumnMask needed, std::vector<Value>* out,
+                       uint32_t* observed_seq) const;
+  Status ResolveRecordOnce(Range& r, uint32_t slot, const ReadSpec& spec,
+                           ColumnMask needed, std::vector<Value>* out,
+                           uint32_t* observed_seq, bool* consistent) const;
+
+  /// Visibility of a version whose raw Start Time is `raw`; performs
+  /// lazy commit-time stamping via `slot_ref` when the writer has
+  /// committed (Section 5.1.1). May update `raw` in place.
+  Visibility CheckVisible(std::atomic<Value>* slot_ref, Value& raw,
+                          const ReadSpec& spec, TxnId* dependency) const;
+
+  /// Value of a base (pre-update) column: from the base segment when
+  /// the slot is insert-merged, else from the table-level tail pages.
+  Value BaseValue(const Range& r, uint32_t slot, uint32_t physical_col) const;
+  Value BaseDataValue(const Range& r, uint32_t slot, ColumnId col) const {
+    return BaseValue(r, slot, col);
+  }
+  Value BaseMetaValue(const Range& r, uint32_t slot, uint32_t meta) const {
+    return BaseValue(r, slot, schema_.num_columns() + meta);
+  }
+  /// Raw (possibly txn-id) start time of the base record.
+  Value BaseStartRaw(const Range& r, uint32_t slot) const;
+  std::atomic<Value>* BaseStartSlot(Range& r, uint32_t slot) const;
+
+  BaseSegment* Segment(const Range& r, uint32_t physical_col) const {
+    return r.base[physical_col].load(std::memory_order_acquire);
+  }
+
+  // Write machinery ----------------------------------------------------------
+
+  Status WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
+                          ColumnMask mask, const std::vector<Value>& row,
+                          bool is_delete);
+  void LogTailAppend(const Range& r, uint32_t seq, bool insert,
+                     Value start_raw, TxnId txn_id);
+  void MaybeScheduleMerge(Range& r);
+
+  // Merge machinery (called by MergeManager and *_Now) -----------------------
+
+  bool RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns);
+  bool RunInsertMerge(Range& r);
+  size_t RunHistoricCompression(Range& r);
+  void StampCommitTime(std::atomic<Value>* slot, Value observed_raw) const;
+
+  /// Scan helpers.
+  bool VisibleAtSnapshot(Value raw_start, Timestamp as_of) const;
+
+  std::string name_;
+  Schema schema_;
+  TableConfig config_;
+
+  std::unique_ptr<TransactionManager> owned_txn_manager_;
+  TransactionManager* txn_manager_;
+
+  mutable EpochManager epochs_;
+  PrimaryIndex primary_;
+  struct SecondaryEntry {
+    ColumnId col;
+    std::unique_ptr<SecondaryIndex> index;
+  };
+  std::vector<SecondaryEntry> secondaries_;
+  mutable SpinLatch secondary_latch_;
+
+  std::atomic<uint64_t> next_row_{0};  ///< next base RID to hand out
+
+  /// Two-level range directory with lock-free reads (growth under the
+  /// latch; chunks are never moved once published).
+  static constexpr uint32_t kRangeChunkSize = 1024;
+  static constexpr uint32_t kMaxRangeChunks = 4096;
+  struct RangeChunk {
+    std::atomic<Range*> ranges[kRangeChunkSize] = {};
+  };
+  mutable SpinLatch ranges_latch_;
+  std::unique_ptr<std::atomic<RangeChunk*>[]> chunks_;
+  std::atomic<uint64_t> num_ranges_{0};
+
+  std::unique_ptr<MergeManager> merge_manager_;
+  std::unique_ptr<RedoLog> log_;
+
+  mutable TableStats stats_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_CORE_TABLE_H_

@@ -1,0 +1,35 @@
+#include "index/primary_index.h"
+
+namespace lstore {
+
+PrimaryIndex::PrimaryIndex(size_t num_shards) : shards_(num_shards) {}
+
+bool PrimaryIndex::Insert(Value key, Rid rid) {
+  Shard& s = shards_[ShardOf(key)];
+  SpinGuard g(s.latch);
+  return s.map.emplace(key, rid).second;
+}
+
+Rid PrimaryIndex::Get(Value key) const {
+  const Shard& s = shards_[ShardOf(key)];
+  SpinGuard g(s.latch);
+  auto it = s.map.find(key);
+  return it == s.map.end() ? kInvalidRid : it->second;
+}
+
+bool PrimaryIndex::Erase(Value key) {
+  Shard& s = shards_[ShardOf(key)];
+  SpinGuard g(s.latch);
+  return s.map.erase(key) > 0;
+}
+
+size_t PrimaryIndex::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    SpinGuard g(s.latch);
+    n += s.map.size();
+  }
+  return n;
+}
+
+}  // namespace lstore

@@ -1,0 +1,51 @@
+// Concurrent primary-key index: key → base RID.
+//
+// Section 2.2: "all indexes only reference base records (base RIDs)",
+// which eliminates index maintenance on updates — the index is touched
+// only by inserts and (deferred) deletes. Sharded hash map with
+// per-shard spin latches; point lookups take one latch acquire.
+
+#ifndef LSTORE_INDEX_PRIMARY_INDEX_H_
+#define LSTORE_INDEX_PRIMARY_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/types.h"
+
+namespace lstore {
+
+class PrimaryIndex {
+ public:
+  explicit PrimaryIndex(size_t num_shards = 64);
+
+  /// Insert; fails (returns false) if the key already exists —
+  /// enforces primary-key uniqueness.
+  bool Insert(Value key, Rid rid);
+
+  /// Point lookup. Returns kInvalidRid if absent.
+  Rid Get(Value key) const;
+
+  /// Remove the key (used when an insert aborts or after a delete
+  /// falls out of every snapshot).
+  bool Erase(Value key);
+
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable SpinLatch latch;
+    std::unordered_map<Value, Rid> map;
+  };
+  size_t ShardOf(Value key) const {
+    // Fibonacci hashing spreads sequential keys across shards.
+    return (key * 0x9e3779b97f4a7c15ull >> 32) % shards_.size();
+  }
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_INDEX_PRIMARY_INDEX_H_

@@ -1,0 +1,100 @@
+#include "index/secondary_index.h"
+
+#include <algorithm>
+
+namespace lstore {
+
+SecondaryIndex::SecondaryIndex(size_t num_shards) : shards_(num_shards) {}
+
+void SecondaryIndex::Add(Value v, Rid rid) {
+  Shard& s = shards_[ShardOf(v)];
+  SpinGuard g(s.latch);
+  s.map[v].push_back(Posting{rid, false});
+}
+
+void SecondaryIndex::MarkStale(Value v, Rid rid) {
+  Shard& s = shards_[ShardOf(v)];
+  SpinGuard g(s.latch);
+  auto it = s.map.find(v);
+  if (it == s.map.end()) return;
+  for (auto& p : it->second) {
+    if (p.rid == rid && !p.stale) {
+      p.stale = true;
+      return;
+    }
+  }
+}
+
+std::vector<Rid> SecondaryIndex::Lookup(Value v) const {
+  const Shard& s = shards_[ShardOf(v)];
+  SpinGuard g(s.latch);
+  std::vector<Rid> out;
+  auto it = s.map.find(v);
+  if (it != s.map.end()) {
+    for (const auto& p : it->second) out.push_back(p.rid);
+  }
+  return out;
+}
+
+std::vector<Rid> SecondaryIndex::LookupRange(Value lo, Value hi) const {
+  std::vector<Rid> out;
+  for (const auto& s : shards_) {
+    SpinGuard g(s.latch);
+    for (auto it = s.map.lower_bound(lo);
+         it != s.map.end() && it->first <= hi; ++it) {
+      for (const auto& p : it->second) out.push_back(p.rid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t SecondaryIndex::GarbageCollect() {
+  size_t removed = 0;
+  for (auto& s : shards_) {
+    SpinGuard g(s.latch);
+    for (auto it = s.map.begin(); it != s.map.end();) {
+      auto& vec = it->second;
+      size_t before = vec.size();
+      vec.erase(std::remove_if(vec.begin(), vec.end(),
+                               [](const Posting& p) { return p.stale; }),
+                vec.end());
+      removed += before - vec.size();
+      it = vec.empty() ? s.map.erase(it) : std::next(it);
+    }
+  }
+  return removed;
+}
+
+size_t SecondaryIndex::GarbageCollect(
+    const std::function<bool(Value, Rid)>& is_stale) {
+  size_t removed = 0;
+  for (auto& s : shards_) {
+    SpinGuard g(s.latch);
+    for (auto it = s.map.begin(); it != s.map.end();) {
+      Value v = it->first;
+      auto& vec = it->second;
+      size_t before = vec.size();
+      vec.erase(std::remove_if(vec.begin(), vec.end(),
+                               [&](const Posting& p) {
+                                 return p.stale || is_stale(v, p.rid);
+                               }),
+                vec.end());
+      removed += before - vec.size();
+      it = vec.empty() ? s.map.erase(it) : std::next(it);
+    }
+  }
+  return removed;
+}
+
+size_t SecondaryIndex::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    SpinGuard g(s.latch);
+    for (const auto& [v, vec] : s.map) n += vec.size();
+  }
+  return n;
+}
+
+}  // namespace lstore

@@ -1,0 +1,70 @@
+// Secondary index: column value → base RIDs.
+//
+// Section 3.1: on update, "only the affected indexes are modified with
+// the updated values, but they continue to point to base records".
+// Readers landing on a base record "must determine the visible version
+// ... and must check if the visible version has the value", i.e. the
+// index returns *candidates* and the caller re-evaluates the predicate
+// under its snapshot. Old entries are removed lazily (footnote 3:
+// defer "until the changed entries fall outside the snapshot of all
+// relevant active queries"), implemented here as an explicit
+// garbage-collection call driven by the table's epoch manager.
+
+#ifndef LSTORE_INDEX_SECONDARY_INDEX_H_
+#define LSTORE_INDEX_SECONDARY_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/types.h"
+
+namespace lstore {
+
+class SecondaryIndex {
+ public:
+  explicit SecondaryIndex(size_t num_shards = 16);
+
+  /// Add a (value, base rid) posting; duplicates are tolerated.
+  void Add(Value v, Rid rid);
+
+  /// Mark a posting as removable once current snapshots drain.
+  void MarkStale(Value v, Rid rid);
+
+  /// All candidate base RIDs whose (some) version has value v.
+  std::vector<Rid> Lookup(Value v) const;
+
+  /// Candidates for the inclusive value range [lo, hi].
+  std::vector<Rid> LookupRange(Value lo, Value hi) const;
+
+  /// Physically remove postings marked stale before this call.
+  /// Invoke from the epoch manager once old snapshots have drained.
+  size_t GarbageCollect();
+
+  /// Validator-driven collection: removes every posting for which
+  /// `is_stale(value, rid)` returns true (e.g. "the visible version of
+  /// rid no longer carries this value").
+  size_t GarbageCollect(const std::function<bool(Value, Rid)>& is_stale);
+
+  size_t size() const;
+
+ private:
+  struct Posting {
+    Rid rid;
+    bool stale;
+  };
+  struct Shard {
+    mutable SpinLatch latch;
+    std::map<Value, std::vector<Posting>> map;  // ordered for ranges
+  };
+  size_t ShardOf(Value v) const {
+    return (v * 0x9e3779b97f4a7c15ull >> 32) % shards_.size();
+  }
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_INDEX_SECONDARY_INDEX_H_

@@ -1,0 +1,107 @@
+#include "log/page_lsn.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace lstore {
+
+namespace {
+constexpr uint32_t kWriterBit = 1u << 31;
+}
+
+// Shared/exclusive state is managed directly (not via RWSpinLatch)
+// because the OR protocol requires a *bailable* promotion: a writer
+// waiting to promote must abandon the wait the moment a higher-LSN
+// writer takes over ownership ("checks if it is still the owner while
+// waiting otherwise the latch is released"). Without the bail-out two
+// aspiring owners would deadlock, each holding a shared reference the
+// other waits on.
+
+void OrProtocolPage::BeginWrite() {
+  for (;;) {
+    while (draining_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Acquire shared: increment if no writer holds the latch.
+    uint32_t s = latch_state_.load(std::memory_order_relaxed);
+    if ((s & kWriterBit) == 0 &&
+        latch_state_.compare_exchange_weak(s, s + 1,
+                                           std::memory_order_acquire)) {
+      if (!draining_.load(std::memory_order_acquire)) break;
+      latch_state_.fetch_sub(1, std::memory_order_release);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+  uint64_t g = grants_since_flush_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (g >= flush_threshold_) {
+    // Starvation valve: stop admitting writers; the next owner flush
+    // resets the gate.
+    draining_.store(true, std::memory_order_release);
+  }
+}
+
+void OrProtocolPage::EndWrite(uint64_t lsn) {
+  // Step 1: try to become the owner (highest LSN wins).
+  uint64_t cur = owner_lsn_.load(std::memory_order_relaxed);
+  bool owner = false;
+  while (lsn > cur) {
+    if (owner_lsn_.compare_exchange_weak(cur, lsn,
+                                         std::memory_order_acq_rel)) {
+      owner = true;
+      break;
+    }
+  }
+  if (!owner) {
+    // A writer with a higher LSN exists; it will update the pageLSN on
+    // our behalf. Just release the shared latch.
+    latch_state_.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+
+  // Step 2: promote shared -> exclusive, bailing if dethroned.
+  for (;;) {
+    if (owner_lsn_.load(std::memory_order_acquire) != lsn) {
+      latch_state_.fetch_sub(1, std::memory_order_release);
+      return;  // dethroned before acquiring the writer bit
+    }
+    uint32_t s = latch_state_.load(std::memory_order_relaxed);
+    if ((s & kWriterBit) == 0 &&
+        latch_state_.compare_exchange_weak(s, s | kWriterBit,
+                                           std::memory_order_acquire)) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  // Drop our own shared reference, then wait for the rest to drain.
+  latch_state_.fetch_sub(1, std::memory_order_release);
+  for (;;) {
+    if ((latch_state_.load(std::memory_order_acquire) & ~kWriterBit) == 0) {
+      break;
+    }
+    if (owner_lsn_.load(std::memory_order_acquire) != lsn) {
+      // Dethroned while draining: hand the writer bit to the new
+      // owner (which is spinning to acquire it) and leave.
+      latch_state_.fetch_and(~kWriterBit, std::memory_order_release);
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  // Step 3: exclusive section — publish the pageLSN.
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t final_owner = owner_lsn_.load(std::memory_order_acquire);
+  uint64_t prev = page_lsn_.load(std::memory_order_relaxed);
+  while (prev < final_owner &&
+         !page_lsn_.compare_exchange_weak(prev, final_owner,
+                                          std::memory_order_acq_rel)) {
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    grants_since_flush_.store(0, std::memory_order_relaxed);
+    drains_.fetch_add(1, std::memory_order_relaxed);
+    draining_.store(false, std::memory_order_release);
+  }
+  latch_state_.fetch_and(~kWriterBit, std::memory_order_release);
+}
+
+}  // namespace lstore

@@ -1,0 +1,71 @@
+// Ownership Relaying (OR) protocol for pageLSN maintenance.
+//
+// Section 5.2: naive write-ahead logging on columnar pages would hold
+// an exclusive page latch across {modify page, write log record,
+// update pageLSN}. The OR protocol lets all writers hold *shared*
+// latches; only the writer holding the highest LSN becomes the page
+// "owner", promotes to exclusive once the others drain, and updates
+// the pageLSN on behalf of everyone: "if there are 100 concurrent
+// writers, then only one writer will get an exclusive latch on behalf
+// of all the writers".
+//
+// A starvation valve (theta_s) forces a drain-and-flush after a
+// bounded number of shared grants, mirroring the forced flushing
+// policy of the paper.
+
+#ifndef LSTORE_LOG_PAGE_LSN_H_
+#define LSTORE_LOG_PAGE_LSN_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/latch.h"
+
+namespace lstore {
+
+class OrProtocolPage {
+ public:
+  explicit OrProtocolPage(uint64_t flush_threshold = 1024)
+      : flush_threshold_(flush_threshold) {}
+
+  /// Acquire a shared latch before modifying the page. Blocks while a
+  /// forced drain is in progress (starvation valve).
+  void BeginWrite();
+
+  /// Called after the modification is done and its log record has
+  /// received `lsn`. Implements the ownership hand-off: either the
+  /// caller is (or becomes) the owner and updates the pageLSN under a
+  /// promoted exclusive latch, or it simply releases its shared latch
+  /// because a higher-LSN owner exists.
+  void EndWrite(uint64_t lsn);
+
+  /// The durable-consistency watermark: every modification with
+  /// LSN <= pageLSN has been applied (invariant checked by tests).
+  uint64_t page_lsn() const { return page_lsn_.load(std::memory_order_acquire); }
+  uint64_t owner_lsn() const {
+    return owner_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Diagnostics: how many EndWrite calls promoted to exclusive
+  /// (should be far fewer than the number of writers).
+  uint64_t exclusive_promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t forced_drains() const {
+    return drains_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint32_t> latch_state_{0};  // [writer bit | shared count]
+  std::atomic<uint64_t> page_lsn_{0};
+  std::atomic<uint64_t> owner_lsn_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> drains_{0};
+  std::atomic<uint64_t> grants_since_flush_{0};
+  std::atomic<bool> draining_{false};
+  uint64_t flush_threshold_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_LOG_PAGE_LSN_H_

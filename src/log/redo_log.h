@@ -1,0 +1,93 @@
+// Redo-only write-ahead log for tail pages.
+//
+// Section 5.1.3: base pages are read-only (no logging); tail pages are
+// append-only and never updated in place, so only *redo* records are
+// required. Aborted transactions leave tombstones (the aborted stamp)
+// rather than being undone physically. The Indirection column is
+// rebuilt at recovery from the Base RID column / backpointers, so it
+// needs no log of its own (recovery option 2 in the paper).
+//
+// Record framing: [payload_len varint][payload][fnv1a32 checksum].
+// Payload starts with a type byte.
+
+#ifndef LSTORE_LOG_REDO_LOG_H_
+#define LSTORE_LOG_REDO_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lstore {
+
+enum class LogRecordType : uint8_t {
+  kTailAppend = 1,   ///< update/delete tail record (regular tail pages)
+  kInsertAppend = 2, ///< insert into table-level tail pages
+  kCommit = 3,
+  kAbort = 4,
+};
+
+/// In-memory form of a redo record.
+struct LogRecord {
+  LogRecordType type;
+  TxnId txn_id = 0;
+  Timestamp commit_time = 0;  // kCommit only
+  uint64_t range_id = 0;
+  uint32_t seq = 0;           // tail seq (kTailAppend) / slot+1 (kInsertAppend)
+  uint32_t base_slot = 0;
+  uint32_t backptr = 0;
+  uint64_t schema_encoding = 0;
+  /// Raw Start Time at append: the writer's txn id, or — for pre-image
+  /// snapshot records — the copied start time of the old version.
+  uint64_t start_raw = 0;
+  ColumnMask mask = 0;              // materialized data columns
+  std::vector<Value> values;        // one per set bit of mask, low→high
+};
+
+/// Append-only log writer with group commit: appends accumulate in a
+/// buffer and are flushed together when a commit record arrives.
+class RedoLog {
+ public:
+  RedoLog() = default;
+  ~RedoLog();
+
+  Status Open(const std::string& path, bool truncate);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Monotonic LSN source (consumed by the OR protocol, Section 5.2).
+  uint64_t NextLsn() { return next_lsn_.fetch_add(1) + 1; }
+
+  void Append(const LogRecord& rec);
+
+  /// Flush buffered records to the OS; fsync when `sync`.
+  Status Flush(bool sync);
+
+  /// Replay every well-formed record, stopping at the first torn or
+  /// corrupt frame (crash tail). Static: operates on a closed file.
+  static Status Replay(const std::string& path,
+                       const std::function<void(const LogRecord&)>& fn);
+
+  /// Serialize / deserialize one payload (exposed for tests).
+  static void EncodePayload(const LogRecord& rec, std::string* out);
+  static bool DecodePayload(const char* data, size_t size, LogRecord* rec);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+  std::string buffer_;
+  std::atomic<uint64_t> next_lsn_{0};
+};
+
+/// FNV-1a 32-bit checksum over a byte range.
+uint32_t Fnv1a32(const char* data, size_t n);
+
+}  // namespace lstore
+
+#endif  // LSTORE_LOG_REDO_LOG_H_

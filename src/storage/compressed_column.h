@@ -1,0 +1,56 @@
+// Read-optimized, immutable column segment.
+//
+// The merge process (Section 4.1.1, Step 3) writes consolidated
+// values into new read-only pages and "any compression algorithm can
+// be applied on the consolidated pages (on column basis)". This class
+// owns one column of one update range in its read-optimized form and
+// picks the cheapest encoding (plain / dictionary / RLE) per segment.
+
+#ifndef LSTORE_STORAGE_COMPRESSED_COLUMN_H_
+#define LSTORE_STORAGE_COMPRESSED_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/compression/dictionary.h"
+#include "storage/compression/rle.h"
+
+namespace lstore {
+
+class CompressedColumn {
+ public:
+  enum class Encoding { kPlain, kDictionary, kRle };
+
+  /// Build the read-optimized form of `values`. When `try_compress` is
+  /// false (or no codec wins), the plain layout is kept.
+  static std::unique_ptr<CompressedColumn> Build(std::vector<Value> values,
+                                                 bool try_compress);
+
+  Value Get(size_t i) const {
+    switch (encoding_) {
+      case Encoding::kPlain: return plain_[i];
+      case Encoding::kDictionary: return dict_.Get(i);
+      case Encoding::kRle: return rle_.Get(i);
+    }
+    return kNull;
+  }
+
+  size_t size() const { return size_; }
+  Encoding encoding() const { return encoding_; }
+  size_t byte_size() const;
+
+ private:
+  CompressedColumn() = default;
+
+  Encoding encoding_ = Encoding::kPlain;
+  size_t size_ = 0;
+  std::vector<Value> plain_;
+  DictionaryColumn dict_;
+  RleColumn rle_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_COMPRESSED_COLUMN_H_

@@ -1,0 +1,37 @@
+#include "storage/compression/bitpack.h"
+
+namespace lstore {
+
+BitPackedArray::BitPackedArray(const std::vector<uint64_t>& values, int width)
+    : size_(values.size()), width_(width) {
+  if (width_ == 0 || size_ == 0) return;
+  size_t total_bits = size_ * static_cast<size_t>(width_);
+  words_.assign((total_bits + 63) / 64, 0);
+  size_t bit = 0;
+  for (uint64_t v : values) {
+    size_t word = bit / 64;
+    int off = static_cast<int>(bit % 64);
+    words_[word] |= v << off;
+    if (off + width_ > 64) {
+      words_[word + 1] |= v >> (64 - off);
+    }
+    bit += static_cast<size_t>(width_);
+  }
+}
+
+uint64_t BitPackedArray::Get(size_t i) const {
+  if (width_ == 0) return 0;
+  size_t bit = i * static_cast<size_t>(width_);
+  size_t word = bit / 64;
+  int off = static_cast<int>(bit % 64);
+  uint64_t v = words_[word] >> off;
+  if (off + width_ > 64) {
+    v |= words_[word + 1] << (64 - off);
+  }
+  if (width_ < 64) {
+    v &= (1ull << width_) - 1;
+  }
+  return v;
+}
+
+}  // namespace lstore

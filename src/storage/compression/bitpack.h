@@ -1,0 +1,37 @@
+// Fixed-width bit packing: stores each value in exactly `width` bits.
+// Random access in O(1), which is what dictionary-encoded base pages
+// need to serve point reads without decompressing the page.
+
+#ifndef LSTORE_STORAGE_COMPRESSION_BITPACK_H_
+#define LSTORE_STORAGE_COMPRESSION_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lstore {
+
+class BitPackedArray {
+ public:
+  BitPackedArray() = default;
+
+  /// Pack `values`, each of which must fit in `width` bits (width in
+  /// [0, 64]; width 0 means all values are zero).
+  BitPackedArray(const std::vector<uint64_t>& values, int width);
+
+  uint64_t Get(size_t i) const;
+  size_t size() const { return size_; }
+  int width() const { return width_; }
+  size_t byte_size() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  int width_ = 0;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_COMPRESSION_BITPACK_H_

@@ -1,0 +1,49 @@
+#include "storage/compression/delta.h"
+
+#include "common/bitutil.h"
+#include "storage/compression/varint.h"
+
+namespace lstore {
+
+void DeltaEncode(const std::vector<Value>& values, std::string* out) {
+  PutVarint64(out, values.size());
+  Value prev = 0;
+  for (Value v : values) {
+    PutVarint64(out, ZigzagEncode(static_cast<int64_t>(v - prev)));
+    prev = v;
+  }
+}
+
+bool DeltaDecode(const char* data, size_t size, size_t* pos, size_t count,
+                 std::vector<Value>* out) {
+  out->clear();
+  out->reserve(count);
+  Value prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t zz;
+    if (!GetVarint64(data, size, pos, &zz)) return false;
+    prev = prev + static_cast<uint64_t>(ZigzagDecode(zz));
+    out->push_back(prev);
+  }
+  return true;
+}
+
+bool DeltaDecode(const std::string& data, std::vector<Value>* out) {
+  size_t pos = 0;
+  uint64_t count;
+  if (!GetVarint64(data, &pos, &count)) return false;
+  return DeltaDecode(data.data(), data.size(), &pos,
+                     static_cast<size_t>(count), out);
+}
+
+size_t DeltaEncodedSize(const std::vector<Value>& values) {
+  size_t n = VarintLength(values.size());
+  Value prev = 0;
+  for (Value v : values) {
+    n += VarintLength(ZigzagEncode(static_cast<int64_t>(v - prev)));
+    prev = v;
+  }
+  return n;
+}
+
+}  // namespace lstore

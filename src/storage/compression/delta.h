@@ -1,0 +1,32 @@
+// Delta compression for ordered or slowly-changing 64-bit sequences.
+//
+// Section 4.3: "Delta-compression is applied across different versions
+// of tail records" once versions of a record are inlined contiguously.
+// Also used for the highly compressible Start Time column (footnote
+// 10) and base-RID-ordered offsets.
+
+#ifndef LSTORE_STORAGE_COMPRESSION_DELTA_H_
+#define LSTORE_STORAGE_COMPRESSION_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lstore {
+
+/// Encode values as first value + zigzag(varint) deltas.
+void DeltaEncode(const std::vector<Value>& values, std::string* out);
+
+/// Decode the full sequence. Returns false on corruption.
+bool DeltaDecode(const std::string& data, std::vector<Value>* out);
+bool DeltaDecode(const char* data, size_t size, size_t* pos, size_t count,
+                 std::vector<Value>* out);
+
+/// Encoded byte size without materializing (for stats / tests).
+size_t DeltaEncodedSize(const std::vector<Value>& values);
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_COMPRESSION_DELTA_H_

@@ -1,0 +1,43 @@
+// Dictionary encoding for read-optimized base pages.
+//
+// Section 4.1.1, Step 3: "Any compression algorithm (e.g., dictionary
+// encoding) can be applied on the consolidated pages (on column
+// basis)". Distinct values are collected into a sorted dictionary and
+// each slot stores a bit-packed code; point reads stay O(1).
+
+#ifndef LSTORE_STORAGE_COMPRESSION_DICTIONARY_H_
+#define LSTORE_STORAGE_COMPRESSION_DICTIONARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/compression/bitpack.h"
+
+namespace lstore {
+
+class DictionaryColumn {
+ public:
+  DictionaryColumn() = default;
+
+  /// Build from raw values. Worth using only when the number of
+  /// distinct values is small relative to the page (callers decide via
+  /// byte_size()).
+  explicit DictionaryColumn(const std::vector<Value>& values);
+
+  Value Get(size_t i) const { return dict_[codes_.Get(i)]; }
+  size_t size() const { return codes_.size(); }
+  size_t dictionary_size() const { return dict_.size(); }
+  size_t byte_size() const {
+    return dict_.size() * sizeof(Value) + codes_.byte_size();
+  }
+
+ private:
+  std::vector<Value> dict_;
+  BitPackedArray codes_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_COMPRESSION_DICTIONARY_H_

@@ -1,0 +1,22 @@
+#include "storage/compression/rle.h"
+
+#include <algorithm>
+
+namespace lstore {
+
+RleColumn::RleColumn(const std::vector<Value>& values) : size_(values.size()) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i == 0 || values[i] != values_.back()) {
+      starts_.push_back(i);
+      values_.push_back(values[i]);
+    }
+  }
+}
+
+Value RleColumn::Get(size_t i) const {
+  size_t run = static_cast<size_t>(
+      std::upper_bound(starts_.begin(), starts_.end(), i) - starts_.begin());
+  return values_[run - 1];
+}
+
+}  // namespace lstore

@@ -1,0 +1,38 @@
+// Run-length encoding for low-cardinality, clustered columns (e.g. the
+// Last Updated Time column after a merge, where large record ranges
+// share the same consolidation timestamp).
+
+#ifndef LSTORE_STORAGE_COMPRESSION_RLE_H_
+#define LSTORE_STORAGE_COMPRESSION_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lstore {
+
+class RleColumn {
+ public:
+  RleColumn() = default;
+  explicit RleColumn(const std::vector<Value>& values);
+
+  /// O(log #runs) random access via binary search on run starts.
+  Value Get(size_t i) const;
+
+  size_t size() const { return size_; }
+  size_t run_count() const { return starts_.size(); }
+  size_t byte_size() const {
+    return (starts_.size() + values_.size()) * sizeof(uint64_t);
+  }
+
+ private:
+  std::vector<uint64_t> starts_;  // first index of each run
+  std::vector<Value> values_;     // value of each run
+  size_t size_ = 0;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_COMPRESSION_RLE_H_

@@ -1,0 +1,43 @@
+#include "storage/compression/varint.h"
+
+namespace lstore {
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(const char* data, size_t size, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < size && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool GetVarint64(const std::string& data, size_t* pos, uint64_t* v) {
+  return GetVarint64(data.data(), data.size(), pos, v);
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    ++len;
+    v >>= 7;
+  }
+  return len;
+}
+
+}  // namespace lstore

@@ -1,0 +1,28 @@
+// LEB128-style variable-length integer codec: the byte-level substrate
+// of the delta compression applied to historic tail pages (Section
+// 4.3) and of the redo log encoding (Section 5.1.3).
+
+#ifndef LSTORE_STORAGE_COMPRESSION_VARINT_H_
+#define LSTORE_STORAGE_COMPRESSION_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lstore {
+
+/// Append v to out, 7 bits per byte, little-endian groups.
+void PutVarint64(std::string* out, uint64_t v);
+
+/// Decode a varint starting at data[*pos]; advances *pos. Returns
+/// false on truncated input.
+bool GetVarint64(const std::string& data, size_t* pos, uint64_t* v);
+bool GetVarint64(const char* data, size_t size, size_t* pos, uint64_t* v);
+
+/// Encoded size in bytes.
+size_t VarintLength(uint64_t v);
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_COMPRESSION_VARINT_H_

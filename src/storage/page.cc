@@ -1,0 +1,13 @@
+#include "storage/page.h"
+
+namespace lstore {
+
+Page::Page(uint32_t capacity, Value fill)
+    : capacity_(capacity),
+      slots_(std::make_unique<std::atomic<Value>[]>(capacity)) {
+  for (uint32_t i = 0; i < capacity; ++i) {
+    slots_[i].store(fill, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lstore

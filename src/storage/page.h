@@ -1,0 +1,57 @@
+// Fixed-size columnar page.
+//
+// A page holds `capacity` 64-bit slots of a single column (Section
+// 2.1: storage is natively columnar, and tail pages "directly mirror
+// the structure and the schema of base pages"). Slots are atomic so
+// that the same page type serves:
+//  * read-only base pages (plain relaxed loads),
+//  * append-only tail pages (write-once slots, published by the
+//    tail segment's sequence counter),
+//  * the in-place-updated Indirection and Start Time slots.
+
+#ifndef LSTORE_STORAGE_PAGE_H_
+#define LSTORE_STORAGE_PAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace lstore {
+
+class Page {
+ public:
+  /// Creates a page with all slots initialized to `fill` (tail pages
+  /// pre-assign the special null value ∅, Section 2.1).
+  explicit Page(uint32_t capacity, Value fill = kNull);
+
+  uint32_t capacity() const { return capacity_; }
+
+  Value Get(uint32_t slot) const {
+    return slots_[slot].load(std::memory_order_acquire);
+  }
+  void Set(uint32_t slot, Value v) {
+    slots_[slot].store(v, std::memory_order_release);
+  }
+
+  /// CAS for in-place-updated meta columns (Indirection, lazy commit-
+  /// time stamping of Start Time).
+  bool CompareAndSwap(uint32_t slot, Value& expected, Value desired) {
+    return slots_[slot].compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel);
+  }
+
+  std::atomic<Value>& AtomicSlot(uint32_t slot) { return slots_[slot]; }
+
+ private:
+  uint32_t capacity_;
+  std::unique_ptr<std::atomic<Value>[]> slots_;
+};
+
+static_assert(std::atomic<Value>::is_always_lock_free,
+              "L-Store requires lock-free 64-bit atomics");
+
+}  // namespace lstore
+
+#endif  // LSTORE_STORAGE_PAGE_H_

@@ -1,0 +1,91 @@
+#include "txn/transaction_manager.h"
+
+namespace lstore {
+
+Transaction TransactionManager::Begin(IsolationLevel iso) {
+  Timestamp begin = clock_.Tick();
+  TxnId id = kTxnIdTag | begin;
+  Shard& s = shards_[ShardOf(id)];
+  {
+    SpinGuard g(s.latch);
+    auto info = std::make_unique<TxnInfo>();
+    info->begin = begin;
+    s.map.emplace(id, std::move(info));
+  }
+  return Transaction(id, begin, iso);
+}
+
+Timestamp TransactionManager::EnterPreCommit(Transaction* txn) {
+  Shard& s = shards_[ShardOf(txn->id())];
+  // Order matters for snapshot consistency: flip to pre-commit FIRST,
+  // then acquire the commit timestamp. A reader that still observes
+  // kActive is thereby guaranteed that this transaction's commit time
+  // will exceed any snapshot the reader already holds; a reader that
+  // observes kPreCommit waits for the (possibly still zero) commit
+  // time and decides against it.
+  {
+    SpinGuard g(s.latch);
+    auto it = s.map.find(txn->id());
+    if (it != s.map.end()) {
+      it->second->state.store(TxnState::kPreCommit,
+                              std::memory_order_release);
+    }
+  }
+  Timestamp commit = clock_.Tick();
+  txn->set_commit_time(commit);
+  {
+    SpinGuard g(s.latch);
+    auto it = s.map.find(txn->id());
+    if (it != s.map.end()) {
+      it->second->commit.store(commit, std::memory_order_release);
+    }
+  }
+  return commit;
+}
+
+void TransactionManager::MarkCommitted(Transaction* txn) {
+  Shard& s = shards_[ShardOf(txn->id())];
+  SpinGuard g(s.latch);
+  auto it = s.map.find(txn->id());
+  if (it != s.map.end()) {
+    it->second->state.store(TxnState::kCommitted, std::memory_order_release);
+  }
+}
+
+void TransactionManager::MarkAborted(Transaction* txn) {
+  Shard& s = shards_[ShardOf(txn->id())];
+  SpinGuard g(s.latch);
+  auto it = s.map.find(txn->id());
+  if (it != s.map.end()) {
+    it->second->state.store(TxnState::kAborted, std::memory_order_release);
+  }
+}
+
+void TransactionManager::Retire(TxnId id) {
+  Shard& s = shards_[ShardOf(id)];
+  SpinGuard g(s.latch);
+  s.map.erase(id);
+}
+
+TransactionManager::StateView TransactionManager::GetState(TxnId id) const {
+  const Shard& s = shards_[ShardOf(id)];
+  SpinGuard g(s.latch);
+  auto it = s.map.find(id);
+  StateView view;
+  if (it == s.map.end()) return view;  // retired
+  view.found = true;
+  view.state = it->second->state.load(std::memory_order_acquire);
+  view.commit = it->second->commit.load(std::memory_order_acquire);
+  return view;
+}
+
+size_t TransactionManager::live_entries() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    SpinGuard g(s.latch);
+    n += s.map.size();
+  }
+  return n;
+}
+
+}  // namespace lstore

@@ -1,0 +1,146 @@
+// Database facade tests: table registry, shared clock/manager, and
+// atomic multi-table transactions.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace lstore {
+namespace {
+
+TableConfig Cfg() {
+  TableConfig cfg;
+  cfg.range_size = 64;
+  cfg.enable_merge_thread = false;
+  return cfg;
+}
+
+TEST(DatabaseTest, CreateGetDropTables) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable("a", Schema(3), Cfg()).ok());
+  EXPECT_TRUE(db.CreateTable("b", Schema(4), Cfg()).ok());
+  EXPECT_TRUE(db.CreateTable("a", Schema(3), Cfg()).IsAlreadyExists());
+  EXPECT_NE(db.GetTable("a"), nullptr);
+  EXPECT_EQ(db.GetTable("c"), nullptr);
+  EXPECT_EQ(db.TableNames().size(), 2u);
+  EXPECT_TRUE(db.DropTable("b").ok());
+  EXPECT_TRUE(db.DropTable("b").IsNotFound());
+  EXPECT_EQ(db.TableNames().size(), 1u);
+}
+
+TEST(DatabaseTest, TablesShareTheClock) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", Schema(3), Cfg()).ok());
+  ASSERT_TRUE(db.CreateTable("b", Schema(3), Cfg()).ok());
+  Table* a = db.GetTable("a");
+  Table* b = db.GetTable("b");
+  EXPECT_EQ(&a->txn_manager(), &b->txn_manager());
+  Timestamp t1 = a->txn_manager().clock().Tick();
+  Timestamp t2 = b->txn_manager().clock().Tick();
+  EXPECT_LT(t1, t2);
+}
+
+TEST(DatabaseTest, CrossTableTransactionCommitsAtomically) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("accounts", Schema(2), Cfg()).ok());
+  ASSERT_TRUE(db.CreateTable("audit", Schema(2), Cfg()).ok());
+  Table* accounts = db.GetTable("accounts");
+  Table* audit = db.GetTable("audit");
+
+  Transaction txn = db.Begin();
+  ASSERT_TRUE(accounts->Insert(&txn, {1, 500}).ok());
+  ASSERT_TRUE(audit->Insert(&txn, {100, 1}).ok());
+
+  // Before commit: invisible in BOTH tables.
+  Transaction peek = db.Begin();
+  std::vector<Value> out;
+  EXPECT_TRUE(accounts->Read(&peek, 1, 0b11, &out).IsNotFound());
+  EXPECT_TRUE(audit->Read(&peek, 100, 0b11, &out).IsNotFound());
+  ASSERT_TRUE(db.Commit(&peek).ok());
+
+  ASSERT_TRUE(db.Commit(&txn).ok());
+
+  // After commit: visible in BOTH.
+  Transaction check = db.Begin();
+  EXPECT_TRUE(accounts->Read(&check, 1, 0b11, &out).ok());
+  EXPECT_EQ(out[1], 500u);
+  EXPECT_TRUE(audit->Read(&check, 100, 0b11, &out).ok());
+  EXPECT_EQ(out[1], 1u);
+  ASSERT_TRUE(db.Commit(&check).ok());
+}
+
+TEST(DatabaseTest, CrossTableAbortRollsBackEverything) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", Schema(2), Cfg()).ok());
+  ASSERT_TRUE(db.CreateTable("b", Schema(2), Cfg()).ok());
+  Table* a = db.GetTable("a");
+  Table* b = db.GetTable("b");
+  {
+    Transaction setup = db.Begin();
+    ASSERT_TRUE(a->Insert(&setup, {1, 10}).ok());
+    ASSERT_TRUE(b->Insert(&setup, {1, 20}).ok());
+    ASSERT_TRUE(db.Commit(&setup).ok());
+  }
+  Transaction txn = db.Begin();
+  ASSERT_TRUE(a->Update(&txn, 1, 0b10, {0, 11}).ok());
+  ASSERT_TRUE(b->Update(&txn, 1, 0b10, {0, 21}).ok());
+  db.Abort(&txn);
+
+  Transaction check = db.Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(a->Read(&check, 1, 0b10, &out).ok());
+  EXPECT_EQ(out[1], 10u);
+  ASSERT_TRUE(b->Read(&check, 1, 0b10, &out).ok());
+  EXPECT_EQ(out[1], 20u);
+  ASSERT_TRUE(db.Commit(&check).ok());
+}
+
+TEST(DatabaseTest, CrossTableSerializableValidation) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", Schema(2), Cfg()).ok());
+  ASSERT_TRUE(db.CreateTable("b", Schema(2), Cfg()).ok());
+  Table* a = db.GetTable("a");
+  Table* b = db.GetTable("b");
+  {
+    Transaction setup = db.Begin();
+    ASSERT_TRUE(a->Insert(&setup, {1, 10}).ok());
+    ASSERT_TRUE(b->Insert(&setup, {1, 20}).ok());
+    ASSERT_TRUE(db.Commit(&setup).ok());
+  }
+  // t1 reads from table a; a concurrent writer invalidates that read;
+  // t1's write to table b must not commit (cross-table consistency).
+  Transaction t1 = db.Begin(IsolationLevel::kSerializable);
+  std::vector<Value> out;
+  ASSERT_TRUE(a->Read(&t1, 1, 0b10, &out).ok());
+  ASSERT_TRUE(b->Update(&t1, 1, 0b10, {0, out[1] + 100}).ok());
+
+  Transaction t2 = db.Begin();
+  ASSERT_TRUE(a->Update(&t2, 1, 0b10, {0, 99}).ok());
+  ASSERT_TRUE(db.Commit(&t2).ok());
+
+  EXPECT_TRUE(db.Commit(&t1).IsAborted());
+  // b unchanged.
+  Transaction check = db.Begin();
+  ASSERT_TRUE(b->Read(&check, 1, 0b10, &out).ok());
+  EXPECT_EQ(out[1], 20u);
+  ASSERT_TRUE(db.Commit(&check).ok());
+}
+
+TEST(DatabaseTest, SingleTableCommitStillWorksThroughTable) {
+  // Transactions confined to one table may commit through the table
+  // directly, even when it belongs to a database.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", Schema(2), Cfg()).ok());
+  Table* a = db.GetTable("a");
+  Transaction txn = a->Begin();
+  ASSERT_TRUE(a->Insert(&txn, {5, 50}).ok());
+  ASSERT_TRUE(a->Commit(&txn).ok());
+  Transaction check = a->Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(a->Read(&check, 5, 0b10, &out).ok());
+  EXPECT_EQ(out[1], 50u);
+  ASSERT_TRUE(a->Commit(&check).ok());
+}
+
+}  // namespace
+}  // namespace lstore

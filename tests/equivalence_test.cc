@@ -1,0 +1,208 @@
+// Cross-engine equivalence: L-Store (column), L-Store (Row), IUH, and
+// DBM execute the same randomized committed operation trace and must
+// agree with a plain std::map reference model on every read and scan.
+// This is the strongest end-to-end correctness property we can state:
+// the four storage architectures are interchangeable in semantics and
+// differ only in performance (Section 6.1 "for fairness...").
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "baselines/dbm/dbm_table.h"
+#include "baselines/iuh/iuh_table.h"
+#include "common/bitutil.h"
+#include "common/random.h"
+#include "core/row_table.h"
+#include "core/table.h"
+
+namespace lstore {
+namespace {
+
+constexpr uint32_t kCols = 4;
+
+TableConfig Config(uint32_t range_size) {
+  TableConfig cfg;
+  cfg.range_size = range_size;
+  cfg.insert_range_size = range_size;
+  cfg.tail_page_slots = 16;
+  cfg.base_page_slots = 16;
+  cfg.merge_threshold = 24;
+  cfg.enable_merge_thread = false;
+  return cfg;
+}
+
+struct SweepCase {
+  const char* name;
+  uint64_t seed;
+  uint32_t range_size;
+  int ops;
+  bool merge_mid_trace;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
+  const SweepCase& p = GetParam();
+  TableConfig cfg = Config(p.range_size);
+  Table col("c", Schema(kCols), cfg);
+  RowTable row(Schema(kCols), cfg);
+  IuhTable iuh(Schema(kCols), cfg);
+  DbmTable dbm(Schema(kCols), cfg);
+  std::map<Value, std::vector<Value>> model;
+
+  Random rng(p.seed);
+  Value next_key = 0;
+
+  auto run_all = [&](auto&& fn) {
+    // fn(table) -> Status; must succeed or fail identically everywhere.
+    Status a = fn(col), b = fn(row), c = fn(iuh), d = fn(dbm);
+    ASSERT_EQ(a.ok(), b.ok()) << a.ToString() << " vs " << b.ToString();
+    ASSERT_EQ(a.ok(), c.ok()) << a.ToString() << " vs " << c.ToString();
+    ASSERT_EQ(a.ok(), d.ok()) << a.ToString() << " vs " << d.ToString();
+  };
+
+  for (int i = 0; i < p.ops; ++i) {
+    int op = static_cast<int>(rng.Uniform(100));
+    if (op < 30 || model.empty()) {
+      // Insert a fresh key.
+      Value key = next_key++;
+      std::vector<Value> r(kCols);
+      r[0] = key;
+      for (uint32_t c = 1; c < kCols; ++c) r[c] = rng.Uniform(100000);
+      run_all([&](auto& t) {
+        Transaction txn = t.Begin();
+        Status s = t.Insert(&txn, r);
+        if (!s.ok()) {
+          t.Abort(&txn);
+          return s;
+        }
+        return t.Commit(&txn);
+      });
+      model[key] = r;
+    } else if (op < 75) {
+      // Update 1-3 random columns of an existing key.
+      Value key = rng.Uniform(next_key);
+      ColumnMask mask = 0;
+      uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      while (PopCount(mask) < static_cast<int>(n)) {
+        mask |= 1ull << (1 + rng.Uniform(kCols - 1));
+      }
+      std::vector<Value> r(kCols, 0);
+      for (BitIter it(mask); it; ++it) r[*it] = rng.Uniform(100000);
+      bool exists = model.count(key) > 0;
+      run_all([&](auto& t) {
+        Transaction txn = t.Begin();
+        Status s = t.Update(&txn, key, mask, r);
+        if (!s.ok()) {
+          t.Abort(&txn);
+          return s;
+        }
+        return t.Commit(&txn);
+      });
+      if (exists) {
+        for (BitIter it(mask); it; ++it) model[key][*it] = r[*it];
+      }
+    } else if (op < 80) {
+      // Delete: all engines agree, including on double-deletes.
+      Value key = rng.Uniform(next_key);
+      run_all([&](auto& t) {
+        Transaction txn = t.Begin();
+        Status s = t.Delete(&txn, key);
+        if (!s.ok()) {
+          t.Abort(&txn);
+          return s;
+        }
+        return t.Commit(&txn);
+      });
+      model.erase(key);
+    } else if (op < 85) {
+      // Aborted update: must leave no trace anywhere.
+      Value key = rng.Uniform(next_key);
+      std::vector<Value> r(kCols, rng.Uniform(100000));
+      run_all([&](auto& t) {
+        Transaction txn = t.Begin();
+        Status s = t.Update(&txn, key, 0b0010, r);
+        t.Abort(&txn);
+        return s;
+      });
+    } else if (op < 90 && p.merge_mid_trace) {
+      // Merge / flush maintenance mid-trace (no semantic effect).
+      col.FlushAll();
+      col.epochs().TryReclaim();
+      for (uint64_t rid = 0; rid < 4; ++rid) (void)dbm.MergeRange(rid);
+    } else {
+      // Point read of a random key: everyone matches the model.
+      Value key = rng.Uniform(next_key);
+      auto expect = model.find(key);
+      std::vector<Value> a, b, c, d;
+      Transaction ta = col.Begin();
+      Transaction tb = row.Begin();
+      Transaction tc = iuh.Begin();
+      Transaction td = dbm.Begin();
+      ColumnMask all = (1ull << kCols) - 1;
+      Status sa = col.Read(&ta, key, all, &a);
+      Status sb = row.Read(&tb, key, all, &b);
+      Status sc = iuh.Read(&tc, key, all, &c);
+      Status sd = dbm.Read(&td, key, all, &d);
+      (void)col.Commit(&ta);
+      (void)row.Commit(&tb);
+      (void)iuh.Commit(&tc);
+      (void)dbm.Commit(&td);
+      if (expect == model.end()) {
+        EXPECT_TRUE(sa.IsNotFound());
+        EXPECT_TRUE(sb.IsNotFound());
+        EXPECT_TRUE(sc.IsNotFound());
+        EXPECT_TRUE(sd.IsNotFound());
+      } else {
+        ASSERT_TRUE(sa.ok() && sb.ok() && sc.ok() && sd.ok());
+        EXPECT_EQ(a, expect->second) << "L-Store col, key " << key;
+        EXPECT_EQ(b, expect->second) << "L-Store row, key " << key;
+        EXPECT_EQ(c, expect->second) << "IUH, key " << key;
+        EXPECT_EQ(d, expect->second) << "DBM, key " << key;
+      }
+    }
+  }
+
+  // Final scans across all engines match the model.
+  uint64_t expect_sum = 0;
+  for (const auto& [k, r] : model) expect_sum += r[1];
+  uint64_t sums[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(col.SumColumnRange(1, col.txn_manager().clock().Tick(), 0,
+                                 col.num_rows(), &sums[0])
+                  .ok());
+  ASSERT_TRUE(row.SumColumn(1, row.txn_manager().clock().Tick(), &sums[1])
+                  .ok());
+  ASSERT_TRUE(iuh.SumColumn(1, iuh.txn_manager().clock().Tick(), &sums[2])
+                  .ok());
+  ASSERT_TRUE(dbm.SumColumn(1, dbm.txn_manager().clock().Tick(), &sums[3])
+                  .ok());
+  EXPECT_EQ(sums[0], expect_sum) << "L-Store col scan";
+  EXPECT_EQ(sums[1], expect_sum) << "L-Store row scan";
+  EXPECT_EQ(sums[2], expect_sum) << "IUH scan";
+  EXPECT_EQ(sums[3], expect_sum) << "DBM scan";
+
+  // And after a full merge everywhere, scans still agree.
+  col.FlushAll();
+  uint64_t after = 0;
+  ASSERT_TRUE(col.SumColumnRange(1, col.txn_manager().clock().Tick(), 0,
+                                 col.num_rows(), &after)
+                  .ok());
+  EXPECT_EQ(after, expect_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traces, EngineEquivalence,
+    ::testing::Values(SweepCase{"seed1", 1, 32, 400, false},
+                      SweepCase{"seed2", 2, 32, 400, true},
+                      SweepCase{"seed3", 3, 16, 600, true},
+                      SweepCase{"big_range", 4, 256, 400, false},
+                      SweepCase{"merge_heavy", 5, 16, 800, true},
+                      SweepCase{"seed6", 6, 64, 500, true}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace lstore

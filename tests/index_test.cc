@@ -1,0 +1,133 @@
+// Tests for the primary hash index (key -> base RID; indexes only ever
+// reference base records, Section 2.2) and the secondary index with
+// lazy posting removal (Section 3.1, footnote 3).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "index/primary_index.h"
+#include "index/secondary_index.h"
+
+namespace lstore {
+namespace {
+
+TEST(PrimaryIndexTest, InsertGetErase) {
+  PrimaryIndex idx;
+  EXPECT_TRUE(idx.Insert(10, 100));
+  EXPECT_EQ(idx.Get(10), 100u);
+  EXPECT_EQ(idx.Get(11), kInvalidRid);
+  EXPECT_TRUE(idx.Erase(10));
+  EXPECT_FALSE(idx.Erase(10));
+  EXPECT_EQ(idx.Get(10), kInvalidRid);
+}
+
+TEST(PrimaryIndexTest, DuplicateInsertRejected) {
+  PrimaryIndex idx;
+  EXPECT_TRUE(idx.Insert(5, 1));
+  EXPECT_FALSE(idx.Insert(5, 2));
+  EXPECT_EQ(idx.Get(5), 1u);  // original mapping survives
+}
+
+TEST(PrimaryIndexTest, SizeAcrossShards) {
+  PrimaryIndex idx(8);
+  for (Value k = 0; k < 1000; ++k) EXPECT_TRUE(idx.Insert(k, k * 2));
+  EXPECT_EQ(idx.size(), 1000u);
+  for (Value k = 0; k < 1000; ++k) EXPECT_EQ(idx.Get(k), k * 2);
+}
+
+TEST(PrimaryIndexTest, ConcurrentDisjointInserts) {
+  PrimaryIndex idx;
+  constexpr int kThreads = 4, kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        Value k = static_cast<Value>(t) * kPer + i;
+        EXPECT_TRUE(idx.Insert(k, k + 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), static_cast<size_t>(kThreads * kPer));
+  for (Value k = 0; k < kThreads * kPer; ++k) EXPECT_EQ(idx.Get(k), k + 7);
+}
+
+TEST(PrimaryIndexTest, ConcurrentDuplicateInsertsExactlyOneWins) {
+  PrimaryIndex idx;
+  constexpr int kThreads = 4;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (idx.Insert(77, 1000 + t)) wins.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), 1);
+}
+
+TEST(SecondaryIndexTest, LookupReturnsCandidates) {
+  SecondaryIndex idx;
+  idx.Add(50, 1);
+  idx.Add(50, 2);
+  idx.Add(60, 3);
+  auto c = idx.Lookup(50);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(idx.Lookup(99).size(), 0u);
+}
+
+TEST(SecondaryIndexTest, DuplicatePostingsTolerated) {
+  // The paper defers removal of changed values, so the same (v, rid)
+  // may legitimately appear twice after an A->B->A update cycle.
+  SecondaryIndex idx;
+  idx.Add(50, 1);
+  idx.Add(50, 1);
+  EXPECT_EQ(idx.Lookup(50).size(), 2u);
+}
+
+TEST(SecondaryIndexTest, RangeLookupAcrossShards) {
+  SecondaryIndex idx(4);
+  for (Value v = 0; v < 100; ++v) idx.Add(v, v + 1000);
+  auto c = idx.LookupRange(10, 19);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(c.front(), 1010u);
+  EXPECT_EQ(c.back(), 1019u);
+}
+
+TEST(SecondaryIndexTest, MarkStaleThenGarbageCollect) {
+  SecondaryIndex idx;
+  idx.Add(50, 1);
+  idx.Add(50, 2);
+  idx.MarkStale(50, 1);
+  // Stale postings remain visible until GC (old snapshots may need
+  // them, Section 3.1 footnote 3).
+  EXPECT_EQ(idx.Lookup(50).size(), 2u);
+  EXPECT_EQ(idx.GarbageCollect(), 1u);
+  auto c = idx.Lookup(50);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 2u);
+}
+
+TEST(SecondaryIndexTest, ValidatorDrivenGc) {
+  SecondaryIndex idx;
+  idx.Add(50, 1);
+  idx.Add(50, 2);
+  idx.Add(60, 3);
+  size_t removed = idx.GarbageCollect(
+      [](Value v, Rid rid) { return v == 50 && rid == 1; });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(SecondaryIndexTest, GcRemovesEmptyValueEntries) {
+  SecondaryIndex idx;
+  idx.Add(50, 1);
+  idx.MarkStale(50, 1);
+  idx.GarbageCollect();
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.Lookup(50).size(), 0u);
+}
+
+}  // namespace
+}  // namespace lstore

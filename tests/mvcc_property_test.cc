@@ -1,0 +1,236 @@
+// Parameterized MVCC property sweeps on the L-Store table: randomized
+// concurrent workloads checked against global invariants —
+//  * no dirty reads (only committed values are ever observed),
+//  * snapshot-sum conservation under balanced transfers,
+//  * monotone visibility (committed writes eventually observed),
+//  * abort atomicity.
+// Swept across contention levels, thread counts, and merge settings.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "core/table.h"
+
+namespace lstore {
+namespace {
+
+struct PropertyCase {
+  const char* name;
+  uint64_t rows;        // active set
+  int writers;
+  bool merge_thread;
+  uint32_t merge_threshold;
+  int duration_ms;
+};
+
+class MvccProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  static TableConfig MakeConfig(const PropertyCase& p) {
+    TableConfig cfg;
+    cfg.range_size = 128;
+    cfg.insert_range_size = 128;
+    cfg.tail_page_slots = 32;
+    cfg.merge_threshold = p.merge_threshold;
+    cfg.enable_merge_thread = p.merge_thread;
+    return cfg;
+  }
+};
+
+// Writers only ever commit values that are multiples of 1000; any
+// other observed value is a dirty or torn read.
+TEST_P(MvccProperty, NoDirtyOrTornReads) {
+  const PropertyCase& p = GetParam();
+  Table table("t", Schema(3), MakeConfig(p));
+  {
+    Transaction txn = table.Begin();
+    for (Value k = 0; k < p.rows; ++k) {
+      ASSERT_TRUE(table.Insert(&txn, {k, 0, 0}).ok());
+    }
+    ASSERT_TRUE(table.Commit(&txn).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < p.writers; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(100 + t);
+      while (!stop.load()) {
+        Transaction txn = table.Begin();
+        Value key = rng.Uniform(p.rows);
+        // Write a non-multiple first, then fix it before committing:
+        // intermediate state must never leak.
+        std::vector<Value> row(3, 0);
+        row[1] = rng.Uniform(1000) * 1000 + 7;  // dirty value
+        if (!table.Update(&txn, key, 0b010, row).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        row[1] = rng.Uniform(1000) * 1000;  // clean value
+        if (!table.Update(&txn, key, 0b010, row).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        if (rng.Percent(20)) {
+          table.Abort(&txn);  // aborted txns leak nothing either
+        } else {
+          (void)table.Commit(&txn);
+        }
+      }
+    });
+  }
+  // Readers.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(p.duration_ms);
+  Random rng(7);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Transaction txn = table.Begin();
+    std::vector<Value> out;
+    Value key = rng.Uniform(p.rows);
+    if (table.Read(&txn, key, 0b010, &out).ok()) {
+      if (out[1] % 1000 != 0) violation = true;
+    }
+    (void)table.Commit(&txn);
+  }
+  stop = true;
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load()) << "observed an uncommitted value";
+}
+
+// Balanced transfers under serializable isolation: every snapshot sum
+// equals the initial total.
+TEST_P(MvccProperty, SnapshotSumConservation) {
+  const PropertyCase& p = GetParam();
+  Table table("t", Schema(3), MakeConfig(p));
+  constexpr Value kInitial = 10000;
+  {
+    Transaction txn = table.Begin();
+    for (Value k = 0; k < p.rows; ++k) {
+      ASSERT_TRUE(table.Insert(&txn, {k, kInitial, 0}).ok());
+    }
+    ASSERT_TRUE(table.Commit(&txn).ok());
+  }
+  const uint64_t expected = p.rows * kInitial;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < p.writers; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(200 + t);
+      while (!stop.load()) {
+        Value from = rng.Uniform(p.rows), to = rng.Uniform(p.rows);
+        if (from == to) continue;
+        Transaction txn = table.Begin(IsolationLevel::kSerializable);
+        std::vector<Value> a, b;
+        if (!table.Read(&txn, from, 0b010, &a).ok() ||
+            !table.Read(&txn, to, 0b010, &b).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        Value amount = 1 + rng.Uniform(100);
+        if (a[1] < amount) {
+          table.Abort(&txn);
+          continue;
+        }
+        std::vector<Value> row(3, 0);
+        row[1] = a[1] - amount;
+        if (!table.Update(&txn, from, 0b010, row).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        row[1] = b[1] + amount;
+        if (!table.Update(&txn, to, 0b010, row).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        if (table.Commit(&txn).ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(p.duration_ms);
+  int scans = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    uint64_t sum = 0;
+    Timestamp now = table.txn_manager().clock().Tick();
+    ASSERT_TRUE(table.SumColumnRange(1, now, 0, p.rows, &sum).ok());
+    EXPECT_EQ(sum, expected) << "scan " << scans;
+    ++scans;
+  }
+  stop = true;
+  for (auto& th : threads) th.join();
+  table.WaitForMergeQueue();
+  table.FlushAll();
+  uint64_t final_sum = 0;
+  Timestamp now = table.txn_manager().clock().Tick();
+  ASSERT_TRUE(table.SumColumnRange(1, now, 0, p.rows, &final_sum).ok());
+  EXPECT_EQ(final_sum, expected);
+  EXPECT_GT(committed.load(), 0u);
+  EXPECT_GT(scans, 0);
+}
+
+// Committed increments are never lost, even with merges racing.
+TEST_P(MvccProperty, CommittedIncrementsNeverLost) {
+  const PropertyCase& p = GetParam();
+  Table table("t", Schema(3), MakeConfig(p));
+  {
+    Transaction txn = table.Begin();
+    for (Value k = 0; k < p.rows; ++k) {
+      ASSERT_TRUE(table.Insert(&txn, {k, 0, 0}).ok());
+    }
+    ASSERT_TRUE(table.Commit(&txn).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_added{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < p.writers; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(300 + t);
+      while (!stop.load()) {
+        Value key = rng.Uniform(p.rows);
+        Transaction txn = table.Begin(IsolationLevel::kSerializable);
+        std::vector<Value> out;
+        if (!table.Read(&txn, key, 0b010, &out).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        std::vector<Value> row(3, 0);
+        Value inc = 1 + rng.Uniform(9);
+        row[1] = out[1] + inc;
+        if (!table.Update(&txn, key, 0b010, row).ok()) {
+          table.Abort(&txn);
+          continue;
+        }
+        if (table.Commit(&txn).ok()) {
+          total_added.fetch_add(inc);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(p.duration_ms));
+  stop = true;
+  for (auto& th : threads) th.join();
+  table.WaitForMergeQueue();
+  table.FlushAll();
+  uint64_t sum = 0;
+  Timestamp now = table.txn_manager().clock().Tick();
+  ASSERT_TRUE(table.SumColumnRange(1, now, 0, p.rows, &sum).ok());
+  EXPECT_EQ(sum, total_added.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MvccProperty,
+    ::testing::Values(
+        PropertyCase{"low_contention", 512, 2, true, 64, 250},
+        PropertyCase{"high_contention", 16, 3, true, 32, 250},
+        PropertyCase{"no_merge", 64, 2, false, 1u << 30, 200},
+        PropertyCase{"eager_merge", 64, 2, true, 8, 250}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace lstore

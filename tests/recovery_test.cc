@@ -1,0 +1,274 @@
+// Logging & recovery tests (Section 5.1.3): redo-only log for tail
+// pages, commit/abort outcomes, torn-tail handling, indirection
+// rebuild, and merge idempotence after recovery.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/table.h"
+#include "log/redo_log.h"
+
+namespace lstore {
+namespace {
+
+std::string TempLogPath(const char* name) {
+  return std::string(::testing::TempDir()) + "lstore_" + name + ".log";
+}
+
+TableConfig LogConfig(const std::string& path) {
+  TableConfig cfg;
+  cfg.range_size = 32;
+  cfg.insert_range_size = 32;
+  cfg.tail_page_slots = 8;
+  cfg.enable_merge_thread = false;
+  cfg.enable_logging = true;
+  cfg.log_path = path;
+  return cfg;
+}
+
+TEST(RedoLogTest, PayloadRoundTrip) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTailAppend;
+  rec.txn_id = kTxnIdTag | 42;
+  rec.range_id = 3;
+  rec.seq = 17;
+  rec.base_slot = 9;
+  rec.backptr = 16;
+  rec.schema_encoding = 0b0110 | kSnapshotFlag;
+  rec.start_raw = 12345;
+  rec.mask = 0b0110;
+  rec.values = {111, 222};
+  std::string payload;
+  RedoLog::EncodePayload(rec, &payload);
+  LogRecord out;
+  ASSERT_TRUE(RedoLog::DecodePayload(payload.data(), payload.size(), &out));
+  EXPECT_EQ(out.txn_id, rec.txn_id);
+  EXPECT_EQ(out.seq, rec.seq);
+  EXPECT_EQ(out.backptr, rec.backptr);
+  EXPECT_EQ(out.schema_encoding, rec.schema_encoding);
+  EXPECT_EQ(out.start_raw, rec.start_raw);
+  EXPECT_EQ(out.values, rec.values);
+}
+
+TEST(RedoLogTest, ReplayStopsAtTornTail) {
+  std::string path = TempLogPath("torn");
+  {
+    RedoLog log;
+    ASSERT_TRUE(log.Open(path, true).ok());
+    for (int i = 0; i < 5; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kCommit;
+      rec.txn_id = kTxnIdTag | (100 + i);
+      rec.commit_time = 100 + i;
+      log.Append(rec);
+    }
+    ASSERT_TRUE(log.Flush(false).ok());
+  }
+  // Truncate mid-frame to simulate a crash during a write.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    ASSERT_EQ(0, ::truncate(path.c_str(), sz - 3));
+    std::fclose(f);
+  }
+  int count = 0;
+  ASSERT_TRUE(RedoLog::Replay(path, [&](const LogRecord&) { ++count; }).ok());
+  EXPECT_EQ(count, 4);  // last frame torn, first four intact
+  std::remove(path.c_str());
+}
+
+TEST(RedoLogTest, ReplayStopsAtCorruptChecksum) {
+  std::string path = TempLogPath("corrupt");
+  {
+    RedoLog log;
+    ASSERT_TRUE(log.Open(path, true).ok());
+    for (int i = 0; i < 3; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kAbort;
+      rec.txn_id = kTxnIdTag | (7 + i);
+      log.Append(rec);
+    }
+    ASSERT_TRUE(log.Flush(false).ok());
+  }
+  {
+    // Flip a byte in the middle of the file (second record's payload).
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    std::fseek(f, sz / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, sz / 2, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  int count = 0;
+  ASSERT_TRUE(RedoLog::Replay(path, [&](const LogRecord&) { ++count; }).ok());
+  EXPECT_LT(count, 3);
+  std::remove(path.c_str());
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempLogPath(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(RecoveryTest, CommittedDataSurvivesRestart) {
+  {
+    Table table("t", Schema(3), LogConfig(path_));
+    Transaction txn = table.Begin();
+    for (Value k = 0; k < 10; ++k) {
+      ASSERT_TRUE(table.Insert(&txn, {k, k * 2, k * 3}).ok());
+    }
+    ASSERT_TRUE(table.Commit(&txn).ok());
+    Transaction u = table.Begin();
+    ASSERT_TRUE(table.Update(&u, 4, 0b010, {0, 999, 0}).ok());
+    ASSERT_TRUE(table.Commit(&u).ok());
+    // Destructor closes the log; the "crash" discards all memory.
+  }
+  Table table("t", Schema(3), LogConfig(path_));
+  ASSERT_TRUE(table.RecoverFromLog().ok());
+  Transaction r = table.Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(table.Read(&r, 4, 0b111, &out).ok());
+  EXPECT_EQ(out, (std::vector<Value>{4, 999, 12}));
+  ASSERT_TRUE(table.Read(&r, 7, 0b111, &out).ok());
+  EXPECT_EQ(out, (std::vector<Value>{7, 14, 21}));
+  (void)table.Commit(&r);
+}
+
+TEST_F(RecoveryTest, UncommittedTransactionRolledBackOnRecovery) {
+  {
+    Table table("t", Schema(3), LogConfig(path_));
+    Transaction setup = table.Begin();
+    ASSERT_TRUE(table.Insert(&setup, {1, 10, 20}).ok());
+    ASSERT_TRUE(table.Commit(&setup).ok());
+    // In-flight transaction: tail records logged, no commit record.
+    Transaction open = table.Begin();
+    ASSERT_TRUE(table.Update(&open, 1, 0b010, {0, 777, 0}).ok());
+    ASSERT_TRUE(table.Insert(&open, {2, 30, 40}).ok());
+    // Force the appends to disk without committing.
+    // (Flush happens on commit normally; simulate via a committed
+    // no-op transaction that triggers the group-commit flush.)
+    Transaction noop = table.Begin();
+    ASSERT_TRUE(table.Commit(&noop).ok());
+  }
+  Table table("t", Schema(3), LogConfig(path_));
+  ASSERT_TRUE(table.RecoverFromLog().ok());
+  Transaction r = table.Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(table.Read(&r, 1, 0b010, &out).ok());
+  EXPECT_EQ(out[1], 10u);  // uncommitted update rolled back
+  EXPECT_TRUE(table.Read(&r, 2, 0b111, &out).IsNotFound());
+  (void)table.Commit(&r);
+}
+
+TEST_F(RecoveryTest, AbortRecordHonoredOnRecovery) {
+  {
+    Table table("t", Schema(3), LogConfig(path_));
+    Transaction setup = table.Begin();
+    ASSERT_TRUE(table.Insert(&setup, {1, 10, 20}).ok());
+    ASSERT_TRUE(table.Commit(&setup).ok());
+    Transaction bad = table.Begin();
+    ASSERT_TRUE(table.Update(&bad, 1, 0b010, {0, 666, 0}).ok());
+    table.Abort(&bad);
+    Transaction good = table.Begin();
+    ASSERT_TRUE(table.Update(&good, 1, 0b010, {0, 42, 0}).ok());
+    ASSERT_TRUE(table.Commit(&good).ok());
+  }
+  Table table("t", Schema(3), LogConfig(path_));
+  ASSERT_TRUE(table.RecoverFromLog().ok());
+  Transaction r = table.Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(table.Read(&r, 1, 0b010, &out).ok());
+  EXPECT_EQ(out[1], 42u);
+  (void)table.Commit(&r);
+}
+
+TEST_F(RecoveryTest, RecoveredTableAcceptsNewTransactions) {
+  {
+    Table table("t", Schema(3), LogConfig(path_));
+    Transaction txn = table.Begin();
+    ASSERT_TRUE(table.Insert(&txn, {1, 10, 20}).ok());
+    ASSERT_TRUE(table.Commit(&txn).ok());
+  }
+  Table table("t", Schema(3), LogConfig(path_));
+  ASSERT_TRUE(table.RecoverFromLog().ok());
+  // The clock resumed beyond replayed times: new updates win.
+  Transaction u = table.Begin();
+  ASSERT_TRUE(table.Update(&u, 1, 0b010, {0, 11, 0}).ok());
+  ASSERT_TRUE(table.Commit(&u).ok());
+  Transaction n = table.Begin();
+  ASSERT_TRUE(table.Insert(&n, {2, 20, 30}).ok());
+  ASSERT_TRUE(table.Commit(&n).ok());
+  Transaction r = table.Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(table.Read(&r, 1, 0b010, &out).ok());
+  EXPECT_EQ(out[1], 11u);
+  (void)table.Commit(&r);
+}
+
+TEST_F(RecoveryTest, DoubleRecoveryIsIdempotent) {
+  {
+    Table table("t", Schema(3), LogConfig(path_));
+    Transaction txn = table.Begin();
+    for (Value k = 0; k < 5; ++k) {
+      ASSERT_TRUE(table.Insert(&txn, {k, k, k}).ok());
+    }
+    ASSERT_TRUE(table.Commit(&txn).ok());
+  }
+  for (int round = 0; round < 2; ++round) {
+    Table table("t", Schema(3), LogConfig(path_));
+    ASSERT_TRUE(table.RecoverFromLog().ok());
+    EXPECT_EQ(table.num_rows(), 5u);
+    Transaction r = table.Begin();
+    std::vector<Value> out;
+    ASSERT_TRUE(table.Read(&r, 3, 0b010, &out).ok());
+    EXPECT_EQ(out[1], 3u);
+    (void)table.Commit(&r);
+  }
+}
+
+TEST_F(RecoveryTest, MergeAfterRecoveryIsConsistent) {
+  // "The merge process is idempotent ... If crash occurs during the
+  // merge, simply the partial merge results can be ignored and the
+  // merge can be restarted." Merges are not logged; after recovery the
+  // merge re-runs from TPS 0 and must produce the same visible state.
+  {
+    Table table("t", Schema(3), LogConfig(path_));
+    Transaction txn = table.Begin();
+    for (Value k = 0; k < 32; ++k) {
+      ASSERT_TRUE(table.Insert(&txn, {k, k, k}).ok());
+    }
+    ASSERT_TRUE(table.Commit(&txn).ok());
+    for (Value k = 0; k < 32; ++k) {
+      Transaction u = table.Begin();
+      ASSERT_TRUE(table.Update(&u, k, 0b010, {0, k + 1000, 0}).ok());
+      ASSERT_TRUE(table.Commit(&u).ok());
+    }
+    table.FlushAll();  // merge ran before the crash
+  }
+  Table table("t", Schema(3), LogConfig(path_));
+  ASSERT_TRUE(table.RecoverFromLog().ok());
+  table.FlushAll();  // restart the merge from scratch
+  for (Value k = 0; k < 32; ++k) {
+    Transaction r = table.Begin();
+    std::vector<Value> out;
+    ASSERT_TRUE(table.Read(&r, k, 0b010, &out).ok());
+    EXPECT_EQ(out[1], k + 1000);
+    (void)table.Commit(&r);
+  }
+}
+
+}  // namespace
+}  // namespace lstore
