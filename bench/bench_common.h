@@ -9,7 +9,11 @@
 #ifndef LSTORE_BENCH_BENCH_COMMON_H_
 #define LSTORE_BENCH_BENCH_COMMON_H_
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -41,6 +45,36 @@ inline std::vector<uint32_t> ThreadPoints() {
   }
   if (pts.empty()) pts.push_back(1);
   return pts;
+}
+
+/// Monotonic wall clock in milliseconds (durability benchmarks).
+inline double WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fresh scratch directory for durability benchmarks (fig_recovery):
+/// unique per process; callers remove it when done.
+inline std::string ScratchDir(const std::string& name) {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/lstore_" + name + "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Total bytes of files under `dir` whose name ends with `suffix`.
+inline uint64_t DirBytes(const std::string& dir, const std::string& suffix) {
+  uint64_t total = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string p = e.path().string();
+    if (p.size() >= suffix.size() &&
+        p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      total += std::filesystem::file_size(e.path());
+    }
+  }
+  return total;
 }
 
 /// Build + load an engine for a workload.

@@ -1,0 +1,122 @@
+// Recovery-path benchmark: checkpoint write throughput and restart
+// time as a function of the redo-log length.
+//
+// Section 5.1.3 argues that read-only base pages + append-only tail
+// pages make redo-only logging sufficient; the flip side is that
+// restart cost is the cost of replaying the log tail beyond the last
+// checkpoint. This driver quantifies both halves so future PRs can
+// track the recovery path:
+//   (a) full-table checkpoint throughput (rows/s, bytes written),
+//   (b) Database::Open latency vs number of redo records to replay,
+//       with and without a preceding checkpoint + log truncation.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/database.h"
+
+namespace lstore {
+namespace bench {
+namespace {
+
+constexpr uint32_t kColumns = 5;  // key + 4 data columns
+
+std::unique_ptr<Database> OpenDb(const std::string& dir) {
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(dir, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return db;
+}
+
+void Load(Database* db, Table* t, uint64_t rows) {
+  for (uint64_t k = 0; k < rows;) {
+    Transaction txn = db->Begin();
+    for (uint64_t i = 0; i < 1000 && k < rows; ++i, ++k) {
+      std::vector<Value> row(kColumns, k);
+      (void)t->Insert(&txn, row);
+    }
+    (void)db->Commit(&txn);
+  }
+}
+
+void Update(Database* db, Table* t, uint64_t count, uint64_t rows) {
+  Random rng(42);
+  for (uint64_t done = 0; done < count;) {
+    Transaction txn = db->Begin();
+    for (uint64_t i = 0; i < 100 && done < count; ++i, ++done) {
+      std::vector<Value> row(kColumns, 0);
+      row[1] = done;
+      (void)t->Update(&txn, rng.Uniform(rows), 0b00010, row);
+    }
+    (void)db->Commit(&txn);
+  }
+}
+
+void Run() {
+  PrintHeader(
+      "fig_recovery: checkpoint throughput + restart time vs log length",
+      "restart cost grows with the redo-log tail; checkpoint + "
+      "truncation bounds it at a sequential write");
+
+  const uint64_t rows = std::min<uint64_t>(EnvScale(), 200000);
+  const std::string dir = ScratchDir("fig_recovery");
+
+  // --- (a) checkpoint write throughput --------------------------------
+  {
+    auto db = OpenDb(dir);
+    TableConfig cfg;
+    (void)db->CreateTable("t", Schema(kColumns), cfg);
+    Table* t = db->GetTable("t");
+    Load(db.get(), t, rows);
+    t->FlushAll();
+    double t0 = WallMs();
+    Status s = db->Checkpoint();
+    double ckpt_ms = WallMs() - t0;
+    uint64_t ckpt_bytes = DirBytes(dir, ".ckpt");
+    std::printf("checkpoint_write | rows=%llu ok=%d ms=%.1f rows_per_s=%.0f "
+                "bytes=%llu\n",
+                (unsigned long long)rows, s.ok() ? 1 : 0, ckpt_ms,
+                ckpt_ms > 0 ? rows / (ckpt_ms / 1000.0) : 0.0,
+                (unsigned long long)ckpt_bytes);
+  }
+
+  // --- (b) restart time vs redo-log length ----------------------------
+  std::printf("restart         | %12s %12s %10s %12s\n", "log_records",
+              "log_bytes", "open_ms", "rows_per_s");
+  for (uint64_t updates : {uint64_t{0}, rows / 4, rows, rows * 4}) {
+    {
+      auto db = OpenDb(dir);
+      Table* t = db->GetTable("t");
+      // Reset the log to (near) empty, then grow exactly the tail we
+      // want to measure.
+      (void)db->Checkpoint();
+      Update(db.get(), t, updates, rows);
+      // Crash: drop all in-memory state with the log un-truncated.
+    }
+    uint64_t log_bytes = DirBytes(dir, ".log");
+    double t0 = WallMs();
+    auto db = OpenDb(dir);
+    double open_ms = WallMs() - t0;
+    std::printf("restart         | %12llu %12llu %10.1f %12.0f\n",
+                (unsigned long long)updates, (unsigned long long)log_bytes,
+                open_ms, open_ms > 0 ? rows / (open_ms / 1000.0) : 0.0);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lstore
+
+int main() {
+  lstore::bench::Run();
+  return 0;
+}

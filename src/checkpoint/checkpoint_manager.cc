@@ -1,0 +1,451 @@
+#include "checkpoint/checkpoint_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "checkpoint/serde.h"
+#include "core/database.h"
+#include "core/table.h"
+#include "log/redo_log.h"
+#include "storage/compression/varint.h"
+
+namespace lstore {
+
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kCatalogFile[] = "CATALOG";
+
+bool FileExists(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+/// Pack the restart-relevant TableConfig fields (logging fields are
+/// re-derived from the directory at Open time).
+void PutConfig(std::string* p, const TableConfig& c) {
+  PutVarint64(p, c.range_size);
+  PutVarint64(p, c.base_page_slots);
+  PutVarint64(p, c.tail_page_slots);
+  PutVarint64(p, c.merge_threshold);
+  PutVarint64(p, c.merge_fanin);
+  PutVarint64(p, c.insert_range_size);
+  uint64_t flags = (c.cumulative_updates ? 1u : 0) |
+                   (c.compress_merged_pages ? 2u : 0) |
+                   (c.enable_merge_thread ? 4u : 0);
+  PutVarint64(p, flags);
+}
+
+bool GetConfig(std::string_view p, size_t* pos, TableConfig* c) {
+  uint64_t v, flags;
+  if (!GetU64(p, pos, &v)) return false;
+  c->range_size = static_cast<uint32_t>(v);
+  if (!GetU64(p, pos, &v)) return false;
+  c->base_page_slots = static_cast<uint32_t>(v);
+  if (!GetU64(p, pos, &v)) return false;
+  c->tail_page_slots = static_cast<uint32_t>(v);
+  if (!GetU64(p, pos, &v)) return false;
+  c->merge_threshold = static_cast<uint32_t>(v);
+  if (!GetU64(p, pos, &v)) return false;
+  c->merge_fanin = static_cast<uint32_t>(v);
+  if (!GetU64(p, pos, &v)) return false;
+  c->insert_range_size = static_cast<uint32_t>(v);
+  if (!GetU64(p, pos, &flags)) return false;
+  c->cumulative_updates = (flags & 1u) != 0;
+  c->compress_merged_pages = (flags & 2u) != 0;
+  c->enable_merge_thread = (flags & 4u) != 0;
+  return true;
+}
+
+/// fsync the directory so renames/unlinks inside it survive power
+/// loss (the file data alone is not enough for crash atomicity).
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open dir for fsync: " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("dir fsync failed: " + dir);
+  return Status::OK();
+}
+
+std::string DirOf(const std::string& path) {
+  size_t sep = path.find_last_of('/');
+  return sep == std::string::npos ? "." : path.substr(0, sep);
+}
+
+/// Write a frame file to path.tmp, then atomically rename onto path.
+template <typename WriteFrames>
+Status WriteAtomically(const std::string& path, uint32_t magic,
+                       WriteFrames&& write_frames) {
+  std::string tmp = path + ".tmp";
+  {
+    FrameWriter w;
+    Status s = w.Open(tmp, magic);
+    if (s.ok()) s = write_frames(&w);
+    if (s.ok()) s = w.Finish();
+    if (!s.ok()) {
+      std::remove(tmp.c_str());  // no stale partial files (e.g. ENOSPC)
+      return s;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot publish " + path);
+  }
+  return SyncDir(DirOf(path));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+Status WriteManifest(const std::string& dir, const Manifest& m) {
+  return WriteAtomically(
+      dir + "/" + kManifestFile, kManifestMagic, [&](FrameWriter* w) {
+        std::string p;
+        PutVarint64(&p, m.checkpoint_id);
+        PutVarint64(&p, m.entries.size());
+        LSTORE_RETURN_IF_ERROR(w->WriteFrame(FrameType::kManifestHeader, p));
+        for (const ManifestEntry& e : m.entries) {
+          std::string q;
+          PutString(&q, e.table);
+          PutString(&q, e.file);
+          PutVarint64(&q, e.file_checksum);
+          PutVarint64(&q, e.log_watermark);
+          PutVarint64(&q, e.secondary_columns.size());
+          for (ColumnId c : e.secondary_columns) PutVarint64(&q, c);
+          LSTORE_RETURN_IF_ERROR(w->WriteFrame(FrameType::kManifestEntry, q));
+        }
+        return Status::OK();
+      });
+}
+
+Status ReadManifest(const std::string& dir, Manifest* m, bool* exists) {
+  std::string path = dir + "/" + kManifestFile;
+  *exists = FileExists(path);
+  if (!*exists) return Status::OK();
+  FrameReader r;
+  LSTORE_RETURN_IF_ERROR(r.Open(path, kManifestMagic));
+  uint64_t expected_entries = 0;
+  bool header_seen = false;
+  FrameType type;
+  std::string_view p;
+  while (r.Next(&type, &p)) {
+    size_t pos = 0;
+    if (type == FrameType::kManifestHeader) {
+      if (!GetU64(p, &pos, &m->checkpoint_id) ||
+          !GetU64(p, &pos, &expected_entries)) {
+        return Status::Corruption("bad manifest header");
+      }
+      header_seen = true;
+    } else if (type == FrameType::kManifestEntry) {
+      ManifestEntry e;
+      uint64_t nsec;
+      if (!GetString(p, &pos, &e.table) || !GetString(p, &pos, &e.file) ||
+          !GetU64(p, &pos, &e.file_checksum) ||
+          !GetU64(p, &pos, &e.log_watermark) || !GetU64(p, &pos, &nsec)) {
+        return Status::Corruption("bad manifest entry");
+      }
+      for (uint64_t i = 0; i < nsec; ++i) {
+        uint64_t c;
+        if (!GetU64(p, &pos, &c)) return Status::Corruption("bad manifest");
+        e.secondary_columns.push_back(static_cast<ColumnId>(c));
+      }
+      m->entries.push_back(std::move(e));
+    }
+  }
+  LSTORE_RETURN_IF_ERROR(r.status());
+  if (!header_seen || m->entries.size() != expected_entries) {
+    return Status::Corruption("manifest truncated");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+Status WriteCatalog(const std::string& dir,
+                    const std::vector<CatalogEntry>& entries) {
+  return WriteAtomically(
+      dir + "/" + kCatalogFile, kCatalogMagic, [&](FrameWriter* w) {
+        std::string p;
+        PutVarint64(&p, entries.size());
+        LSTORE_RETURN_IF_ERROR(w->WriteFrame(FrameType::kCatalogHeader, p));
+        for (const CatalogEntry& e : entries) {
+          std::string q;
+          PutString(&q, e.name);
+          PutVarint64(&q, e.columns.size());
+          for (const std::string& col : e.columns) PutString(&q, col);
+          PutConfig(&q, e.config);
+          PutVarint64(&q, e.secondary_columns.size());
+          for (ColumnId c : e.secondary_columns) PutVarint64(&q, c);
+          LSTORE_RETURN_IF_ERROR(w->WriteFrame(FrameType::kCatalogEntry, q));
+        }
+        return Status::OK();
+      });
+}
+
+Status ReadCatalog(const std::string& dir, std::vector<CatalogEntry>* entries,
+                   bool* exists) {
+  std::string path = dir + "/" + kCatalogFile;
+  *exists = FileExists(path);
+  if (!*exists) return Status::OK();
+  FrameReader r;
+  LSTORE_RETURN_IF_ERROR(r.Open(path, kCatalogMagic));
+  uint64_t expected = 0;
+  bool header_seen = false;
+  FrameType type;
+  std::string_view p;
+  while (r.Next(&type, &p)) {
+    size_t pos = 0;
+    if (type == FrameType::kCatalogHeader) {
+      if (!GetU64(p, &pos, &expected)) {
+        return Status::Corruption("bad catalog header");
+      }
+      header_seen = true;
+    } else if (type == FrameType::kCatalogEntry) {
+      CatalogEntry e;
+      uint64_t ncols;
+      if (!GetString(p, &pos, &e.name) || !GetU64(p, &pos, &ncols)) {
+        return Status::Corruption("bad catalog entry");
+      }
+      for (uint64_t c = 0; c < ncols; ++c) {
+        std::string col;
+        if (!GetString(p, &pos, &col)) {
+          return Status::Corruption("bad catalog entry");
+        }
+        e.columns.push_back(std::move(col));
+      }
+      if (!GetConfig(p, &pos, &e.config)) {
+        return Status::Corruption("bad catalog config");
+      }
+      uint64_t nsec;
+      if (!GetU64(p, &pos, &nsec)) return Status::Corruption("bad catalog");
+      for (uint64_t i = 0; i < nsec; ++i) {
+        uint64_t c;
+        if (!GetU64(p, &pos, &c)) return Status::Corruption("bad catalog");
+        e.secondary_columns.push_back(static_cast<ColumnId>(c));
+      }
+      entries->push_back(std::move(e));
+    }
+  }
+  LSTORE_RETURN_IF_ERROR(r.status());
+  if (!header_seen || entries->size() != expected) {
+    return Status::Corruption("catalog truncated");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager
+// ---------------------------------------------------------------------------
+
+CheckpointManager::CheckpointManager(Database* db, std::string dir,
+                                     DurabilityOptions opts)
+    : db_(db), dir_(std::move(dir)), opts_(opts) {}
+
+CheckpointManager::~CheckpointManager() { Stop(); }
+
+void CheckpointManager::SetRecoveredManifest(const Manifest& m) {
+  std::lock_guard<std::mutex> g(mu_);
+  next_checkpoint_id_ = m.checkpoint_id + 1;
+  previous_files_.clear();
+  for (const ManifestEntry& e : m.entries) previous_files_.push_back(e.file);
+}
+
+uint64_t CheckpointManager::checkpoints_taken() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return checkpoints_taken_;
+}
+
+Status CheckpointManager::last_background_status() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return last_background_status_;
+}
+
+Status CheckpointManager::RunCheckpoint() {
+  // DDL first, then checkpoint_mu_ (same order as ForgetTable callers):
+  // tables must not be dropped while we hold raw pointers to them.
+  std::lock_guard<std::mutex> ddl(db_->ddl_mu_);
+  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    id = next_checkpoint_id_;
+  }
+
+  auto tables = db_->TableHandles();
+  Manifest m;
+  m.checkpoint_id = id;
+  std::vector<std::string> new_files;
+  Status status = Status::OK();
+
+  for (auto& [name, t] : tables) {
+    ManifestEntry e;
+    e.table = name;
+    // Watermark BEFORE capture: anything the capture might miss has a
+    // higher LSN and will be replayed at recovery (idempotently).
+    if (t->log_ != nullptr) {
+      status = t->log_->Flush(/*sync=*/true);
+      if (!status.ok()) break;
+      e.log_watermark = t->log_->last_lsn();
+    }
+    e.file = "ckpt_" + std::to_string(id) + "_" + name + ".ckpt";
+    status = CheckpointIO::WriteTable(*t, dir_ + "/" + e.file,
+                                      &e.file_checksum);
+    if (!status.ok()) {
+      std::remove((dir_ + "/" + e.file).c_str());  // drop the partial file
+      break;
+    }
+    e.secondary_columns = t->SecondaryColumns();
+    new_files.push_back(e.file);
+    m.entries.push_back(std::move(e));
+  }
+  if (status.ok()) status = WriteManifest(dir_, m);
+  if (!status.ok()) {
+    // Failed checkpoint: the old manifest still rules; drop orphans.
+    for (const std::string& f : new_files) {
+      std::remove((dir_ + "/" + f).c_str());
+    }
+    return status;
+  }
+
+  // The manifest is durable: the log prefix below each watermark is
+  // dead weight now (Section 5.1.3's log truncation).
+  if (opts_.truncate_log_after_checkpoint) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      Table* t = tables[i].second;
+      if (t->log_ != nullptr) {
+        Status ts = t->log_->TruncateTo(m.entries[i].log_watermark);
+        if (!ts.ok() && status.ok()) status = ts;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> g(mu_);
+  for (const std::string& f : previous_files_) {
+    bool still_live = false;
+    for (const std::string& nf : new_files) {
+      if (nf == f) still_live = true;
+    }
+    if (!still_live) std::remove((dir_ + "/" + f).c_str());
+  }
+  previous_files_ = std::move(new_files);
+  next_checkpoint_id_ = id + 1;
+  ++checkpoints_taken_;
+  return status;
+}
+
+Status CheckpointManager::ForgetTable(const std::string& table) {
+  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  Manifest m;
+  bool exists = false;
+  LSTORE_RETURN_IF_ERROR(ReadManifest(dir_, &m, &exists));
+  if (!exists) return Status::OK();
+  Manifest keep;
+  keep.checkpoint_id = m.checkpoint_id;
+  std::vector<std::string> dead;
+  for (ManifestEntry& e : m.entries) {
+    if (e.table == table) {
+      dead.push_back(e.file);
+    } else {
+      keep.entries.push_back(std::move(e));
+    }
+  }
+  if (dead.empty()) return Status::OK();
+  LSTORE_RETURN_IF_ERROR(WriteManifest(dir_, keep));
+  for (const std::string& f : dead) {
+    std::remove((dir_ + "/" + f).c_str());
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  for (const std::string& f : dead) {
+    previous_files_.erase(
+        std::remove(previous_files_.begin(), previous_files_.end(), f),
+        previous_files_.end());
+  }
+  return Status::OK();
+}
+
+uint64_t CheckpointManager::TotalLogBytes() const {
+  std::lock_guard<std::mutex> ddl(db_->ddl_mu_);
+  uint64_t total = 0;
+  for (auto& [name, t] : db_->TableHandles()) {
+    (void)name;
+    if (!t->config().log_path.empty()) {
+      total += FileBytes(t->config().log_path);
+    }
+  }
+  return total;
+}
+
+void CheckpointManager::Start() {
+  if (opts_.checkpoint_interval_ms == 0 && opts_.checkpoint_log_bytes == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  if (running_) return;
+  running_ = true;
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void CheckpointManager::Stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void CheckpointManager::Loop() {
+  using Clock = std::chrono::steady_clock;
+  auto last_checkpoint = Clock::now();
+  std::unique_lock<std::mutex> lk(mu_);
+  while (running_) {
+    // Poll at a fraction of the interval so the size trigger stays
+    // responsive even with a long timed interval.
+    uint64_t poll_ms = opts_.checkpoint_interval_ms != 0
+                           ? std::max<uint64_t>(opts_.checkpoint_interval_ms / 4, 1)
+                           : 50;
+    cv_.wait_for(lk, std::chrono::milliseconds(poll_ms),
+                 [this] { return !running_; });
+    if (!running_) break;
+    lk.unlock();
+
+    bool due = false;
+    if (opts_.checkpoint_interval_ms != 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Clock::now() - last_checkpoint)
+                         .count();
+      due = elapsed >= static_cast<int64_t>(opts_.checkpoint_interval_ms);
+    }
+    if (!due && opts_.checkpoint_log_bytes != 0) {
+      due = TotalLogBytes() > opts_.checkpoint_log_bytes;
+    }
+    Status s = Status::OK();
+    if (due) {
+      s = RunCheckpoint();
+      last_checkpoint = Clock::now();
+    }
+
+    lk.lock();
+    if (due) last_background_status_ = s;
+  }
+}
+
+}  // namespace lstore

@@ -65,6 +65,27 @@ struct TableConfig {
   bool sync_commit = false;
 };
 
+/// Durability knobs of a database directory (Section 5.1.3). A durable
+/// database pairs the per-table redo logs with lineage-consistent
+/// checkpoints; recovery = load latest checkpoint + replay log tail.
+struct DurabilityOptions {
+  /// fsync redo logs on every commit (propagated to TableConfig).
+  bool sync_commit = false;
+
+  /// Drop redo records at or below the checkpoint watermark once the
+  /// manifest is durable. Disable to simulate a crash between
+  /// checkpoint write and truncation (recovery must still converge).
+  bool truncate_log_after_checkpoint = true;
+
+  /// Background checkpoint thread: take a checkpoint every
+  /// `checkpoint_interval_ms` milliseconds (0 = no timed trigger).
+  uint64_t checkpoint_interval_ms = 0;
+
+  /// Background checkpoint thread: take a checkpoint once the total
+  /// redo-log bytes across tables exceed this (0 = no size trigger).
+  uint64_t checkpoint_log_bytes = 0;
+};
+
 }  // namespace lstore
 
 #endif  // LSTORE_COMMON_CONFIG_H_

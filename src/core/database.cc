@@ -1,11 +1,30 @@
 #include "core/database.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "checkpoint/checkpoint_manager.h"
 
 namespace lstore {
 
-Status Database::CreateTable(const std::string& name, Schema schema,
-                             TableConfig config) {
+Database::Database() = default;
+
+Database::~Database() {
+  // Stop background checkpointing before tables are torn down (the
+  // unique_ptr member order would do it too; be explicit).
+  if (checkpoint_manager_ != nullptr) checkpoint_manager_->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Table registry
+// ---------------------------------------------------------------------------
+
+Status Database::CreateTableInternal(const std::string& name, Schema schema,
+                                     TableConfig config, Table** out) {
   SpinGuard g(latch_);
   for (const auto& e : tables_) {
     if (e.name == name) return Status::AlreadyExists("table exists");
@@ -13,6 +32,29 @@ Status Database::CreateTable(const std::string& name, Schema schema,
   tables_.push_back(Entry{
       name, std::make_unique<Table>(name, std::move(schema),
                                     std::move(config), &txn_manager_)});
+  if (out != nullptr) *out = tables_.back().table.get();
+  return Status::OK();
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema,
+                             TableConfig config) {
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  if (durable()) {
+    if (GetTable(name) != nullptr) return Status::AlreadyExists("table exists");
+    // A previously dropped table of the same name must leave no trace:
+    // a stale manifest entry or log file would be matched by name at
+    // the next Open and resurrect the old data.
+    if (checkpoint_manager_ != nullptr) {
+      LSTORE_RETURN_IF_ERROR(checkpoint_manager_->ForgetTable(name));
+    }
+    config.enable_logging = true;
+    config.log_path = dir_ + "/" + name + ".log";
+    config.sync_commit = durability_.sync_commit;
+    std::remove(config.log_path.c_str());
+  }
+  LSTORE_RETURN_IF_ERROR(
+      CreateTableInternal(name, std::move(schema), std::move(config), nullptr));
+  if (durable()) return PersistCatalog();
   return Status::OK();
 }
 
@@ -25,11 +67,49 @@ Table* Database::GetTable(const std::string& name) {
 }
 
 Status Database::DropTable(const std::string& name) {
+  // Serialize against checkpoints: RunCheckpoint walks raw Table
+  // pointers and must never see one destroyed mid-capture.
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  std::string log_path;
+  {
+    SpinGuard g(latch_);
+    auto it = std::find_if(tables_.begin(), tables_.end(),
+                           [&](const Entry& e) { return e.name == name; });
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    log_path = it->table->config().log_path;
+  }
+  if (durable()) {
+    // Durable state first, memory last, so a failed persist (e.g.
+    // ENOSPC) leaves the drop cleanly retryable. Order within the
+    // durable state: the catalog rules existence, so rewrite it
+    // first; then the manifest entry + checkpoint files; the log
+    // last (a crash in between leaves only ignorable orphans).
+    LSTORE_RETURN_IF_ERROR(PersistCatalogExcluding(name));
+    if (checkpoint_manager_ != nullptr) {
+      LSTORE_RETURN_IF_ERROR(checkpoint_manager_->ForgetTable(name));
+    }
+    if (!log_path.empty()) std::remove(log_path.c_str());
+  }
   SpinGuard g(latch_);
   auto it = std::find_if(tables_.begin(), tables_.end(),
                          [&](const Entry& e) { return e.name == name; });
-  if (it == tables_.end()) return Status::NotFound("no such table");
-  tables_.erase(it);
+  if (it != tables_.end()) tables_.erase(it);
+  return Status::OK();
+}
+
+Status Database::CreateSecondaryIndex(const std::string& table,
+                                      ColumnId col) {
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table");
+  if (col >= t->schema().num_columns()) {
+    return Status::InvalidArgument("bad column");
+  }
+  for (ColumnId existing : t->SecondaryColumns()) {
+    if (existing == col) return Status::AlreadyExists("index exists");
+  }
+  t->CreateSecondaryIndex(col);
+  if (durable()) return PersistCatalog();
   return Status::OK();
 }
 
@@ -39,6 +119,111 @@ std::vector<std::string> Database::TableNames() const {
   for (const auto& e : tables_) names.push_back(e.name);
   return names;
 }
+
+std::vector<std::pair<std::string, Table*>> Database::TableHandles() const {
+  SpinGuard g(latch_);
+  std::vector<std::pair<std::string, Table*>> out;
+  out.reserve(tables_.size());
+  for (const auto& e : tables_) out.emplace_back(e.name, e.table.get());
+  return out;
+}
+
+Status Database::PersistCatalog() { return PersistCatalogExcluding(""); }
+
+Status Database::PersistCatalogExcluding(const std::string& skip) {
+  std::vector<CatalogEntry> entries;
+  {
+    SpinGuard g(latch_);
+    for (const auto& e : tables_) {
+      if (!skip.empty() && e.name == skip) continue;
+      CatalogEntry ce;
+      ce.name = e.name;
+      const Schema& s = e.table->schema();
+      for (ColumnId c = 0; c < s.num_columns(); ++c) {
+        ce.columns.push_back(s.name(c));
+      }
+      ce.config = e.table->config();
+      ce.secondary_columns = e.table->SecondaryColumns();
+      entries.push_back(std::move(ce));
+    }
+  }
+  return WriteCatalog(dir_, entries);
+}
+
+// ---------------------------------------------------------------------------
+// Durability: open + checkpoint
+// ---------------------------------------------------------------------------
+
+Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
+                      std::unique_ptr<Database>* out) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create database directory: " + dir);
+  }
+  auto db = std::unique_ptr<Database>(new Database());
+  db->dir_ = dir;
+  db->durability_ = opts;
+
+  std::vector<CatalogEntry> catalog;
+  bool catalog_exists = false;
+  LSTORE_RETURN_IF_ERROR(ReadCatalog(dir, &catalog, &catalog_exists));
+
+  Manifest manifest;
+  bool manifest_exists = false;
+  LSTORE_RETURN_IF_ERROR(ReadManifest(dir, &manifest, &manifest_exists));
+
+  for (const CatalogEntry& ce : catalog) {
+    TableConfig cfg = ce.config;
+    cfg.enable_logging = true;
+    cfg.log_path = dir + "/" + ce.name + ".log";
+    cfg.sync_commit = opts.sync_commit;
+    Table* t = nullptr;
+    LSTORE_RETURN_IF_ERROR(
+        db->CreateTableInternal(ce.name, Schema(ce.columns), cfg, &t));
+
+    const ManifestEntry* me = nullptr;
+    for (const ManifestEntry& e : manifest.entries) {
+      if (e.table == ce.name) me = &e;
+    }
+    if (me != nullptr) {
+      LSTORE_RETURN_IF_ERROR(t->RecoverDurable(
+          dir + "/" + me->file, me->log_watermark, me->file_checksum));
+    } else {
+      // Created after the last checkpoint: the log alone carries it.
+      LSTORE_RETURN_IF_ERROR(t->RecoverDurable("", 0));
+    }
+    // Secondary indexes: union of the catalog (kept current by
+    // Database::CreateSecondaryIndex) and the manifest (covers
+    // indexes created directly on the Table before a checkpoint).
+    std::vector<ColumnId> secs = ce.secondary_columns;
+    if (me != nullptr) {
+      secs.insert(secs.end(), me->secondary_columns.begin(),
+                  me->secondary_columns.end());
+    }
+    std::sort(secs.begin(), secs.end());
+    secs.erase(std::unique(secs.begin(), secs.end()), secs.end());
+    for (ColumnId col : secs) t->CreateSecondaryIndex(col);
+  }
+
+  db->checkpoint_manager_ =
+      std::make_unique<CheckpointManager>(db.get(), dir, opts);
+  if (manifest_exists) {
+    db->checkpoint_manager_->SetRecoveredManifest(manifest);
+  }
+  db->checkpoint_manager_->Start();
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (!durable()) {
+    return Status::NotSupported("in-memory database has no checkpoint");
+  }
+  return checkpoint_manager_->RunCheckpoint();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-table transactions
+// ---------------------------------------------------------------------------
 
 Transaction Database::Begin(IsolationLevel iso) {
   return txn_manager_.Begin(iso);

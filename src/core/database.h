@@ -3,28 +3,65 @@
 // span tables (the paper's transaction layer operates above the
 // storage layer; Section 3: "we support multi-statement transactions
 // through L-Store's transaction layer").
+//
+// A database opened on a directory is *durable* (Section 5.1.3):
+// every table gets a redo log under the directory, `Checkpoint()`
+// writes lineage-consistent snapshots and truncates the logs, and
+// `Open()` performs full restart recovery (catalog -> checkpoints ->
+// log-tail replay -> index/Indirection rebuild).
 
 #ifndef LSTORE_CORE_DATABASE_H_
 #define LSTORE_CORE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/config.h"
 #include "common/latch.h"
 #include "common/status.h"
 #include "core/table.h"
 
 namespace lstore {
 
+class CheckpointManager;
+
 class Database {
  public:
-  Database() = default;
+  /// In-memory database (no durability).
+  Database();
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Open (or create) a durable database rooted at directory `dir`.
+  /// Recovers every cataloged table from its latest checkpoint plus
+  /// the redo-log tail; a corrupt manifest or checkpoint fails with a
+  /// clean Corruption status. Background checkpointing starts when
+  /// `opts` configures a trigger.
+  static Status Open(const std::string& dir, const DurabilityOptions& opts,
+                     std::unique_ptr<Database>* out);
+  static Status Open(const std::string& dir, std::unique_ptr<Database>* out) {
+    return Open(dir, DurabilityOptions{}, out);
+  }
+
+  /// Take a lineage-consistent checkpoint of every table and truncate
+  /// the redo logs to the recorded watermarks. NotSupported on an
+  /// in-memory database.
+  Status Checkpoint();
+
+  bool durable() const { return !dir_.empty(); }
+  const std::string& directory() const { return dir_; }
+  CheckpointManager* checkpoint_manager() { return checkpoint_manager_.get(); }
+
   /// Create a table registered under `name`. Fails if the name exists.
+  /// On a durable database, logging is forced on (log under the
+  /// database directory) and the schema/config are persisted to the
+  /// catalog so the table survives restarts even before its first
+  /// checkpoint.
   Status CreateTable(const std::string& name, Schema schema,
                      TableConfig config);
 
@@ -32,7 +69,15 @@ class Database {
   Table* GetTable(const std::string& name);
 
   /// Drop a table (must not have in-flight transactions touching it).
+  /// On a durable database also removes its log and catalog entry.
   Status DropTable(const std::string& name);
+
+  /// Create a secondary index on `table`.`col`. On a durable database
+  /// the index column is persisted to the catalog, so the index is
+  /// rebuilt on every restart — unlike Table::CreateSecondaryIndex
+  /// called directly, which only reaches the durable state at the
+  /// next checkpoint.
+  Status CreateSecondaryIndex(const std::string& table, ColumnId col);
 
   std::vector<std::string> TableNames() const;
 
@@ -52,13 +97,36 @@ class Database {
   Timestamp ReadTimestamp() { return txn_manager_.clock().Tick(); }
 
  private:
+  friend class CheckpointManager;
+
+  /// Registered tables, in creation order (checkpoint + catalog use).
+  std::vector<std::pair<std::string, Table*>> TableHandles() const;
+
+  /// Rewrite the catalog from the current table set (atomic rename).
+  Status PersistCatalog();
+  /// Same, omitting `skip` (DropTable persists before erasing memory).
+  Status PersistCatalogExcluding(const std::string& skip);
+
+  Status CreateTableInternal(const std::string& name, Schema schema,
+                             TableConfig config, Table** out);
+
   TransactionManager txn_manager_;
   mutable SpinLatch latch_;
+  /// Serializes durable DDL (CreateTable/DropTable/CreateSecondaryIndex)
+  /// against checkpoints: a checkpoint iterates raw Table pointers, so
+  /// a concurrent drop must not destroy a table mid-capture. Ordering:
+  /// ddl_mu_ before the checkpoint manager's internal mutexes.
+  mutable std::mutex ddl_mu_;
   struct Entry {
     std::string name;
     std::unique_ptr<Table> table;
   };
   std::vector<Entry> tables_;
+
+  std::string dir_;  ///< empty = in-memory
+  DurabilityOptions durability_;
+  // Declared last: destroyed (and therefore stopped) before tables_.
+  std::unique_ptr<CheckpointManager> checkpoint_manager_;
 };
 
 }  // namespace lstore

@@ -150,6 +150,51 @@ std::vector<HistoricStore::Version> HistoricStore::VersionsOf(
   return out;
 }
 
+std::vector<uint32_t> HistoricStore::Slots() const {
+  std::vector<uint32_t> out;
+  out.reserve(offsets_.size());
+  for (const auto& [slot, off] : offsets_) out.push_back(slot);
+  return out;
+}
+
+void HistoricStore::EncodeTo(std::string* out) const {
+  PutVarint64(out, boundary_);
+  PutVarint64(out, num_columns_);
+  PutVarint64(out, num_versions_);
+  PutVarint64(out, offsets_.size());
+  for (const auto& [slot, off] : offsets_) {
+    PutVarint64(out, slot);
+    PutVarint64(out, off);
+  }
+  PutVarint64(out, blob_.size());
+  out->append(blob_);
+}
+
+HistoricStore* HistoricStore::DecodeFrom(const char* data, size_t size) {
+  auto store = std::unique_ptr<HistoricStore>(new HistoricStore());
+  size_t pos = 0;
+  uint64_t v;
+  if (!GetVarint64(data, size, &pos, &v)) return nullptr;
+  store->boundary_ = static_cast<uint32_t>(v);
+  if (!GetVarint64(data, size, &pos, &v)) return nullptr;
+  store->num_columns_ = static_cast<uint32_t>(v);
+  if (!GetVarint64(data, size, &pos, &v)) return nullptr;
+  store->num_versions_ = v;
+  uint64_t count;
+  if (!GetVarint64(data, size, &pos, &count)) return nullptr;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t slot, off;
+    if (!GetVarint64(data, size, &pos, &slot)) return nullptr;
+    if (!GetVarint64(data, size, &pos, &off)) return nullptr;
+    store->offsets_[static_cast<uint32_t>(slot)] = off;
+  }
+  uint64_t blob_size;
+  if (!GetVarint64(data, size, &pos, &blob_size)) return nullptr;
+  if (blob_size > size - pos) return nullptr;  // overflow-safe bound
+  store->blob_.assign(data + pos, blob_size);
+  return store.release();
+}
+
 bool HistoricStore::ResolveColumn(uint32_t slot, uint32_t entry_seq,
                                   ColumnId col, Timestamp as_of, Value* out,
                                   bool* deleted) const {

@@ -57,6 +57,15 @@ class HistoricStore {
   size_t num_records() const { return offsets_.size(); }
   size_t num_versions() const { return num_versions_; }
 
+  /// Base slots that have at least one compressed version (unordered).
+  std::vector<uint32_t> Slots() const;
+
+  /// Checkpoint serialization: the store is immutable after Build, so
+  /// a byte-for-byte copy of the blob plus the offset directory fully
+  /// reconstructs it (src/checkpoint/ serde, Section 5.1.3).
+  void EncodeTo(std::string* out) const;
+  static HistoricStore* DecodeFrom(const char* data, size_t size);
+
  private:
   HistoricStore() = default;
 

@@ -56,6 +56,7 @@ class RowTable {
   // Tail version layout (row-major): [start_time][backptr][c0..cN-1].
   struct RowRange {
     explicit RowRange(uint32_t range_size, uint32_t ncols);
+    ~RowRange();
 
     uint32_t stride;  // ncols + 2
     std::atomic<uint32_t> occupied{0};
@@ -64,11 +65,17 @@ class RowTable {
     std::unique_ptr<std::atomic<Value>[]> base;
     std::unique_ptr<std::atomic<Value>[]> base_start;
     std::unique_ptr<std::atomic<uint64_t>[]> indirection;
-    /// Tail chunks, each holding kChunkRows versions.
+    /// Tail chunks, each holding kChunkRows versions. A fixed
+    /// directory of atomically published chunk pointers keeps readers
+    /// latch-free; a growable vector would reallocate its backing
+    /// array under a concurrent reader. The directory itself is
+    /// allocated lazily on the first version (never-updated ranges
+    /// pay nothing) and published through `chunks`.
     static constexpr uint32_t kChunkRows = 256;
+    static constexpr uint32_t kMaxChunks = 1u << 14;
     mutable SpinLatch grow_latch;
-    std::vector<std::unique_ptr<std::atomic<Value>[]>> chunks;
-    std::atomic<size_t> num_chunks{0};
+    std::unique_ptr<std::atomic<std::atomic<Value>*>[]> chunk_store;
+    std::atomic<std::atomic<std::atomic<Value>*>*> chunks{nullptr};
 
     std::atomic<Value>* VersionSlot(uint32_t seq, uint32_t field);
     const std::atomic<Value>* VersionSlot(uint32_t seq, uint32_t field) const;

@@ -478,19 +478,41 @@ Status Table::ResolveRecordOnce(Range& r, uint32_t slot, const ReadSpec& spec,
   if (!first_found && observed_seq != nullptr) *observed_seq = 0;
 
   // 3. Remaining columns found no visible chain version: their value
-  // lives in base pages. For snapshot reads this is only sound when
-  // the record's merged horizon (Last Updated Time) lies below the
-  // snapshot — a newer merged state with an unmatched chain walk is
-  // exactly the inconsistent read of Lemma 3, so flag a retry.
-  if (spec.as_of != kMaxTimestamp && remaining != 0 &&
-      slot < r.based.load(std::memory_order_acquire)) {
-    Value lut = BaseMetaValue(r, slot, kBaseLastUpdated);
-    if (lut != kNull && !IsTxnId(lut) && lut >= spec.as_of) {
+  // lives in base pages. For snapshot reads, serving them from a data
+  // segment is only sound when the record's merged horizon (the Last
+  // Updated Time of a segment generation at or beyond the data
+  // segment's lineage) lies below the snapshot — a newer merged state
+  // with an unmatched chain walk is exactly the inconsistent read of
+  // Lemma 3, so flag a retry (Theorem 2). Every value must come from
+  // the segment object the guard inspected or from the write-once
+  // table-level tail pages: this routine can be preempted arbitrarily
+  // long between its loads (the head/ever_updated/based samples may
+  // predate a record's first update while a later segment load sees
+  // many merges beyond the snapshot), so re-loading pointers or
+  // trusting earlier samples would serve too-new values.
+  ColumnMask fallback = remaining | base_resident;
+  BaseSegment* lut_seg =
+      r.base[schema_.num_columns() + kBaseLastUpdated].load(
+          std::memory_order_acquire);
+  const bool snapshot_read = spec.as_of != kMaxTimestamp && fallback != 0;
+  const bool lut_covers = lut_seg != nullptr && slot < lut_seg->num_slots;
+  if (snapshot_read && lut_covers) {
+    Value lut = lut_seg->data->Get(slot);
+    if (lut != kNull && (IsTxnId(lut) || lut >= spec.as_of)) {
       *consistent = false;
     }
   }
-  for (BitIter it(remaining | base_resident); it; ++it) {
-    (*out)[*it] = BaseDataValue(r, slot, static_cast<ColumnId>(*it));
+  for (BitIter it(fallback); it; ++it) {
+    uint32_t col = static_cast<uint32_t>(*it);
+    BaseSegment* seg = Segment(r, col);
+    bool seg_covers = seg != nullptr && slot < seg->num_slots;
+    if (snapshot_read && seg_covers &&
+        (!lut_covers || seg->tps > lut_seg->tps)) {
+      *consistent = false;
+    }
+    (*out)[*it] = seg_covers
+                      ? seg->data->Get(slot)
+                      : r.inserts.Read(slot + 1, kTailMetaColumns + col);
   }
   return Status::OK();
 }
@@ -565,10 +587,26 @@ Status Table::WriteCommitRecord(Transaction* txn, Timestamp commit_time) {
 }
 
 void Table::StampWrites(Transaction* txn, Value outcome) {
+  // The pin keeps tail pages alive: without it, an insert-merge (or
+  // historic compression) that already resolved this transaction's
+  // outcome via the manager could reclaim the pages under our feet.
+  EpochGuard guard(epochs_);
   for (const WriteEntry& w : txn->writeset()) {
     if (w.owner != this) continue;
     Range* r = GetRange(w.range_id);
     if (r == nullptr) continue;
+    if (w.is_insert &&
+        w.base_slot < r->based.load(std::memory_order_acquire)) {
+      // Insert-merge consumed the record: the outcome is already in
+      // the base segment's Start Time column and the table-level tail
+      // page may be reclaimed. Only the index rollback remains.
+      if (outcome == kAbortedStamp) primary_.Erase(w.inserted_key);
+      continue;
+    }
+    if (!w.is_insert &&
+        w.seq < r->historic_boundary.load(std::memory_order_acquire)) {
+      continue;  // compressed away; outcome was resolved before that
+    }
     TailSegment& seg = w.is_insert ? r->inserts : r->updates;
     std::atomic<Value>* slot = seg.StartTimeSlot(w.seq);
     Value expected = txn->id();
@@ -657,6 +695,10 @@ Status Table::Insert(Transaction* txn, const std::vector<Value>& row) {
   r->inserts.Write(seq, kTailSchemaEncoding, 0);
   r->inserts.Write(seq, kTailBaseRid, slot);
 
+  // Publish before logging (checkpoint watermark invariant; see
+  // WriteTailVersion). Visibility is still gated by the txn state.
+  r->inserts.StartTimeSlot(seq)->store(txn->id(), std::memory_order_release);
+
   if (log_ != nullptr) {
     LogRecord rec;
     rec.type = LogRecordType::kInsertAppend;
@@ -671,9 +713,6 @@ Status Table::Insert(Transaction* txn, const std::vector<Value>& row) {
     rec.values = row;
     log_->Append(rec);
   }
-
-  // Publish last: visibility is gated by the Start Time slot.
-  r->inserts.StartTimeSlot(seq)->store(txn->id(), std::memory_order_release);
 
   {
     SpinGuard sg(secondary_latch_);
@@ -880,15 +919,12 @@ Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
                      : r.inserts.Read(slot + 1, kTailStartTime);
   }
 
-  if (log_ != nullptr) {
-    if (snap_seq != 0) {
-      LogTailAppend(r, snap_seq, false, base_start, txn->id());
-    }
-    LogTailAppend(r, new_seq, false, txn->id(), txn->id());
-  }
-
-  // Publish start times; the new version carries our txn id until the
-  // outcome is stamped.
+  // Publish start times BEFORE the log append; the new version carries
+  // our txn id until the outcome is stamped. The order is a durability
+  // protocol invariant: a checkpoint takes its log watermark and then
+  // captures memory, so any record whose log append lies at or below
+  // the watermark must already be published — records still unpublished
+  // at capture are guaranteed to replay from the retained log tail.
   if (snap_seq != 0) {
     r.updates.StartTimeSlot(snap_seq)->store(base_start,
                                              std::memory_order_release);
@@ -897,6 +933,13 @@ Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
   }
   r.updates.StartTimeSlot(new_seq)->store(txn->id(),
                                           std::memory_order_release);
+
+  if (log_ != nullptr) {
+    if (snap_seq != 0) {
+      LogTailAppend(r, snap_seq, false, base_start, txn->id());
+    }
+    LogTailAppend(r, new_seq, false, txn->id(), txn->id());
+  }
 
   if (mask != 0) {
     r.ever_updated[slot].fetch_or(mask, std::memory_order_relaxed);
@@ -1254,114 +1297,8 @@ void Table::WaitForMergeQueue() {
 }
 
 // ---------------------------------------------------------------------------
-// Recovery (Section 5.1.3)
+// Recovery (Section 5.1.3): see src/checkpoint/recovery.cc for
+// RecoverFromLog / RecoverDurable / ReplayAndRebuild.
 // ---------------------------------------------------------------------------
-
-Status Table::RecoverFromLog() {
-  if (config_.log_path.empty()) {
-    return Status::InvalidArgument("no log path configured");
-  }
-  // Writing must not append to the file we replay; close first.
-  if (log_ != nullptr) log_->Close();
-
-  std::vector<LogRecord> appends;
-  std::unordered_map<TxnId, Timestamp> commits;
-  std::unordered_map<TxnId, bool> aborted;
-  Status rs = RedoLog::Replay(config_.log_path, [&](const LogRecord& rec) {
-    switch (rec.type) {
-      case LogRecordType::kCommit:
-        commits[rec.txn_id] = rec.commit_time;
-        break;
-      case LogRecordType::kAbort:
-        aborted[rec.txn_id] = true;
-        break;
-      default:
-        appends.push_back(rec);
-        break;
-    }
-  });
-  if (!rs.ok()) return rs;
-
-  Timestamp max_time = 0;
-  // Apply appends at their original positions.
-  for (const LogRecord& rec : appends) {
-    Range* r = EnsureRange(rec.range_id);
-    TailSegment& seg = rec.type == LogRecordType::kInsertAppend
-                           ? r->inserts
-                           : r->updates;
-    if (rec.type == LogRecordType::kTailAppend) {
-      r->updates.AdvanceSeq(rec.seq);
-    } else {
-      AtomicMaxU32(r->occupied, rec.base_slot + 1);
-      uint64_t row_bound =
-          rec.range_id * config_.range_size + rec.base_slot + 1;
-      uint64_t cur = next_row_.load(std::memory_order_relaxed);
-      while (cur < row_bound && !next_row_.compare_exchange_weak(
-                                    cur, row_bound,
-                                    std::memory_order_relaxed)) {
-      }
-    }
-    int vi = 0;
-    for (BitIter it(rec.mask); it; ++it, ++vi) {
-      seg.Write(rec.seq, kTailMetaColumns + static_cast<uint32_t>(*it),
-                rec.values[vi]);
-    }
-    seg.Write(rec.seq, kTailIndirection, rec.backptr);
-    seg.Write(rec.seq, kTailBaseRid, rec.base_slot);
-    seg.Write(rec.seq, kTailSchemaEncoding, rec.schema_encoding);
-
-    // Outcome: commit time, aborted stamp, or (crash before outcome)
-    // aborted stamp as well.
-    Value start;
-    auto it = commits.find(rec.txn_id);
-    if (it != commits.end()) {
-      start = it->second;
-      if (start > max_time) max_time = start;
-    } else if (rec.start_raw != 0 && !IsTxnId(rec.start_raw)) {
-      // Pre-image snapshot record carrying an old commit time.
-      start = rec.start_raw;
-    } else {
-      start = kAbortedStamp;
-    }
-    // Snapshot records of committed transactions carry the *old*
-    // version's start time, not the commit time.
-    if (IsSnapshotRecord(rec.schema_encoding) && rec.start_raw != 0 &&
-        !IsTxnId(rec.start_raw)) {
-      start = rec.start_raw;
-    }
-    seg.StartTimeSlot(rec.seq)->store(start, std::memory_order_release);
-
-    if (rec.type == LogRecordType::kInsertAppend &&
-        it != commits.end()) {
-      // Rebuild the primary index from committed inserts.
-      primary_.Insert(rec.values[0], rec.range_id * config_.range_size +
-                                         rec.base_slot);
-    }
-  }
-
-  // Rebuild the Indirection column (recovery option 2 of Section
-  // 5.1.3): newest committed tail record per base slot wins.
-  for (const LogRecord& rec : appends) {
-    if (rec.type != LogRecordType::kTailAppend) continue;
-    if (commits.find(rec.txn_id) == commits.end()) continue;
-    Range* r = GetRange(rec.range_id);
-    if (r == nullptr) continue;
-    uint64_t cur = r->indirection[rec.base_slot].load(std::memory_order_relaxed);
-    if (rec.seq > IndirSeq(cur)) {
-      r->indirection[rec.base_slot].store(rec.seq, std::memory_order_release);
-    }
-    r->ever_updated[rec.base_slot].fetch_or(
-        SchemaColumns(rec.schema_encoding), std::memory_order_relaxed);
-  }
-
-  txn_manager_->clock().AdvanceTo(max_time + 1);
-
-  // Resume logging (append mode).
-  if (config_.enable_logging) {
-    log_ = std::make_unique<RedoLog>();
-    LSTORE_RETURN_IF_ERROR(log_->Open(config_.log_path, /*truncate=*/false));
-  }
-  return Status::OK();
-}
 
 }  // namespace lstore

@@ -224,8 +224,24 @@ class Table {
   /// config.log_path (call on a freshly constructed, empty table).
   Status RecoverFromLog();
 
+  /// Full restart recovery (Section 5.1.3): load the checkpoint file
+  /// (may be empty = none), replay the redo-log tail beyond
+  /// `log_watermark`, resolve pending transaction outcomes, and
+  /// rebuild the primary index and the Indirection column from Base
+  /// RID backpointers (recovery option 2). Call on a freshly
+  /// constructed, empty table.
+  Status RecoverDurable(const std::string& checkpoint_file,
+                        uint64_t log_watermark,
+                        uint64_t checkpoint_checksum = 0);
+
+  /// Columns carrying a secondary index (recorded in the checkpoint
+  /// manifest so recovery can rebuild them).
+  std::vector<ColumnId> SecondaryColumns() const;
+
  private:
   friend class MergeManager;
+  friend class CheckpointIO;       ///< capture/restore (checkpoint/serde.cc)
+  friend class CheckpointManager;  ///< log watermarks + truncation
 
   struct Range {
     uint64_t id = 0;
@@ -326,6 +342,13 @@ class Table {
 
   /// Scan helpers.
   bool VisibleAtSnapshot(Value raw_start, Timestamp as_of) const;
+
+  // Recovery machinery (bodies in checkpoint/recovery.cc) ---------------------
+
+  /// Replay the redo log beyond `watermark`, stamp every unresolved
+  /// Start Time with its logged outcome (or the aborted tombstone),
+  /// rebuild indexes + Indirection, and fast-forward the clock.
+  Status ReplayAndRebuild(uint64_t watermark);
 
   std::string name_;
   Schema schema_;

@@ -1,11 +1,31 @@
 #include "log/redo_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstring>
 
 #include "common/bitutil.h"
 #include "storage/compression/varint.h"
 
 namespace lstore {
+
+namespace {
+
+/// Read a whole file into `out`; false if it cannot be opened.
+bool SlurpFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->append(chunk, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
 
 uint32_t Fnv1a32(const char* data, size_t n) {
   uint32_t h = 2166136261u;
@@ -20,6 +40,25 @@ RedoLog::~RedoLog() { Close(); }
 
 Status RedoLog::Open(const std::string& path, bool truncate) {
   Close();
+  path_ = path;
+  last_lsn_.store(0, std::memory_order_release);
+  if (!truncate) {
+    // Restore the LSN counter from the existing records and repair a
+    // torn tail: appending after garbage would hide the new records
+    // from every future replay.
+    std::string data;
+    if (SlurpFile(path, &data) && !data.empty()) {
+      ReplayStats stats;
+      ScanFrames(data, nullptr, &stats);
+      last_lsn_.store(stats.last_lsn, std::memory_order_release);
+      if (!stats.clean_end) {
+        if (::truncate(path.c_str(),
+                       static_cast<off_t>(stats.bytes_consumed)) != 0) {
+          return Status::IOError("cannot repair torn log tail: " + path);
+        }
+      }
+    }
+  }
   file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
   if (file_ == nullptr) {
     return Status::IOError("cannot open log file: " + path);
@@ -37,6 +76,10 @@ void RedoLog::Close() {
 
 void RedoLog::EncodePayload(const LogRecord& rec, std::string* out) {
   out->push_back(static_cast<char>(rec.type));
+  if (rec.type == LogRecordType::kTruncationPoint) {
+    PutVarint64(out, rec.base_lsn);
+    return;
+  }
   PutVarint64(out, rec.txn_id);
   switch (rec.type) {
     case LogRecordType::kCommit:
@@ -55,6 +98,8 @@ void RedoLog::EncodePayload(const LogRecord& rec, std::string* out) {
       PutVarint64(out, rec.mask);
       for (Value v : rec.values) PutVarint64(out, v);
       break;
+    case LogRecordType::kTruncationPoint:
+      break;  // handled above
   }
 }
 
@@ -63,6 +108,11 @@ bool RedoLog::DecodePayload(const char* data, size_t size, LogRecord* rec) {
   size_t pos = 0;
   rec->type = static_cast<LogRecordType>(data[pos++]);
   uint64_t v;
+  if (rec->type == LogRecordType::kTruncationPoint) {
+    if (!GetVarint64(data, size, &pos, &v)) return false;
+    rec->base_lsn = v;
+    return pos == size;
+  }
   if (!GetVarint64(data, size, &pos, &v)) return false;
   rec->txn_id = v;
   switch (rec->type) {
@@ -96,18 +146,24 @@ bool RedoLog::DecodePayload(const char* data, size_t size, LogRecord* rec) {
       }
       return pos == size;
     }
+    default:
+      return false;
   }
-  return false;
 }
 
-void RedoLog::Append(const LogRecord& rec) {
+void RedoLog::AppendFrame(std::string* out, const std::string& payload) {
+  PutVarint64(out, payload.size());
+  out->append(payload);
+  uint32_t crc = Fnv1a32(payload.data(), payload.size());
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+}
+
+uint64_t RedoLog::Append(const LogRecord& rec) {
   std::string payload;
   EncodePayload(rec, &payload);
   std::lock_guard<std::mutex> g(mu_);
-  PutVarint64(&buffer_, payload.size());
-  buffer_.append(payload);
-  uint32_t crc = Fnv1a32(payload.data(), payload.size());
-  buffer_.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  AppendFrame(&buffer_, payload);
+  return last_lsn_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 Status RedoLog::Flush(bool sync) {
@@ -120,43 +176,157 @@ Status RedoLog::Flush(bool sync) {
   }
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
   if (sync) {
-    // fsync via fileno; ignore failure on exotic filesystems.
-    (void)::fflush(file_);
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::IOError("fsync failed");
+    }
   }
   return Status::OK();
 }
 
-Status RedoLog::Replay(const std::string& path,
-                       const std::function<void(const LogRecord&)>& fn) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open log for replay");
-  std::string data;
-  char chunk[1 << 16];
-  size_t n;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    data.append(chunk, n);
+Status RedoLog::TruncateTo(uint64_t watermark_lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (file_ == nullptr) return Status::IOError("log not open");
+  // Push pending appends into the file first so the scan sees them.
+  if (!buffer_.empty()) {
+    size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    if (n != buffer_.size()) return Status::IOError("short log write");
+    buffer_.clear();
   }
-  std::fclose(f);
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
 
+  std::string data;
+  if (!SlurpFile(path_, &data)) {
+    return Status::IOError("cannot read log for truncation: " + path_);
+  }
+
+  // New head: a truncation point restoring the LSN numbering, then
+  // every well-formed frame beyond the watermark (byte-for-byte).
+  std::string retained;
+  {
+    LogRecord tp;
+    tp.type = LogRecordType::kTruncationPoint;
+    tp.base_lsn = watermark_lsn;
+    std::string payload;
+    EncodePayload(tp, &payload);
+    AppendFrame(&retained, payload);
+  }
+  ReplayStats stats;
+  ScanFrames(
+      data,
+      [&](const LogRecord&, uint64_t lsn, size_t begin, size_t end) {
+        if (lsn > watermark_lsn) retained.append(data, begin, end - begin);
+      },
+      &stats);
+
+  std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) return Status::IOError("cannot open temp log: " + tmp);
+  size_t n = std::fwrite(retained.data(), 1, retained.size(), out);
+  bool write_ok = n == retained.size() && std::fflush(out) == 0 &&
+                  ::fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (!write_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write during log truncation");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot publish truncated log");
+  }
+  // Make the rename itself durable before dropping the old handle.
+  {
+    std::string dir = path_.find_last_of('/') == std::string::npos
+                          ? "."
+                          : path_.substr(0, path_.find_last_of('/'));
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      (void)::fsync(fd);
+      ::close(fd);
+    }
+  }
+  // Re-point the handle at the new file (the old inode is unlinked).
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot reopen truncated log: " + path_);
+  }
+  return Status::OK();
+}
+
+void RedoLog::ScanFrames(
+    const std::string& data,
+    const std::function<void(const LogRecord&, uint64_t lsn,
+                             size_t frame_begin, size_t frame_end)>& fn,
+    ReplayStats* stats) {
   size_t pos = 0;
+  uint64_t lsn = 0;
+  stats->clean_end = true;
   while (pos < data.size()) {
     size_t frame_start = pos;
     uint64_t len;
-    if (!GetVarint64(data, &pos, &len)) break;  // torn length
-    if (pos + len + sizeof(uint32_t) > data.size()) {
-      pos = frame_start;  // torn payload: stop (crash tail)
+    if (!GetVarint64(data, &pos, &len)) {  // torn length varint
+      stats->clean_end = false;
+      pos = frame_start;
+      break;
+    }
+    size_t remain = data.size() - pos;
+    // Overflow-safe: a torn tail can present an absurd length whose
+    // naive `pos + len` bound check would wrap around.
+    if (remain < sizeof(uint32_t) || len > remain - sizeof(uint32_t)) {
+      stats->clean_end = false;
+      pos = frame_start;
       break;
     }
     const char* payload = data.data() + pos;
     uint32_t stored;
     std::memcpy(&stored, data.data() + pos + len, sizeof(stored));
-    if (Fnv1a32(payload, len) != stored) break;  // corrupt frame: stop
+    if (Fnv1a32(payload, len) != stored) {  // corrupt frame
+      stats->clean_end = false;
+      pos = frame_start;
+      break;
+    }
     LogRecord rec;
-    if (!DecodePayload(payload, len, &rec)) break;
-    fn(rec);
+    if (!DecodePayload(payload, len, &rec)) {  // malformed payload
+      stats->clean_end = false;
+      pos = frame_start;
+      break;
+    }
     pos += len + sizeof(uint32_t);
+    if (rec.type == LogRecordType::kTruncationPoint) {
+      lsn = rec.base_lsn;
+      stats->base_lsn = rec.base_lsn;
+      stats->last_lsn = lsn;
+      continue;
+    }
+    ++lsn;
+    stats->last_lsn = lsn;
+    if (fn) fn(rec, lsn, frame_start, pos);
   }
+  stats->bytes_consumed = pos;
+}
+
+Status RedoLog::Replay(
+    const std::string& path,
+    const std::function<void(const LogRecord&, uint64_t lsn)>& fn,
+    ReplayStats* stats) {
+  std::string data;
+  if (!SlurpFile(path, &data)) {
+    return Status::IOError("cannot open log for replay");
+  }
+  ReplayStats local;
+  ScanFrames(
+      data,
+      [&fn](const LogRecord& rec, uint64_t lsn, size_t, size_t) {
+        if (fn) fn(rec, lsn);
+      },
+      stats != nullptr ? stats : &local);
   return Status::OK();
+}
+
+Status RedoLog::Replay(const std::string& path,
+                       const std::function<void(const LogRecord&)>& fn) {
+  return Replay(
+      path, [&fn](const LogRecord& rec, uint64_t) { fn(rec); }, nullptr);
 }
 
 }  // namespace lstore

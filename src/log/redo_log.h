@@ -9,6 +9,12 @@
 //
 // Record framing: [payload_len varint][payload][fnv1a32 checksum].
 // Payload starts with a type byte.
+//
+// Every record carries an implicit LSN: records are numbered 1, 2, ...
+// in append order. A log that has been truncated after a checkpoint
+// starts with a kTruncationPoint record whose base_lsn restores the
+// numbering, so LSNs are stable across truncations and a checkpoint
+// manifest can reference its watermark by LSN alone.
 
 #ifndef LSTORE_LOG_REDO_LOG_H_
 #define LSTORE_LOG_REDO_LOG_H_
@@ -31,6 +37,7 @@ enum class LogRecordType : uint8_t {
   kInsertAppend = 2, ///< insert into table-level tail pages
   kCommit = 3,
   kAbort = 4,
+  kTruncationPoint = 5, ///< head of a truncated log; carries the LSN base
 };
 
 /// In-memory form of a redo record.
@@ -48,45 +55,94 @@ struct LogRecord {
   uint64_t start_raw = 0;
   ColumnMask mask = 0;              // materialized data columns
   std::vector<Value> values;        // one per set bit of mask, low→high
+  uint64_t base_lsn = 0;            // kTruncationPoint only
 };
 
 /// Append-only log writer with group commit: appends accumulate in a
 /// buffer and are flushed together when a commit record arrives.
 class RedoLog {
  public:
+  /// Outcome of scanning a log file (replay or open-time repair).
+  struct ReplayStats {
+    uint64_t base_lsn = 0;    ///< LSN numbering base (truncation point)
+    uint64_t last_lsn = 0;    ///< LSN of the last well-formed record
+    size_t bytes_consumed = 0;///< file prefix covered by good frames
+    bool clean_end = true;    ///< false: stopped at a torn/corrupt frame
+  };
+
   RedoLog() = default;
   ~RedoLog();
 
+  /// Open for appending. An existing file is scanned to restore the
+  /// LSN counter; a torn tail (crash mid-write) is truncated away so
+  /// new appends are not hidden behind garbage.
   Status Open(const std::string& path, bool truncate);
   void Close();
   bool is_open() const { return file_ != nullptr; }
 
-  /// Monotonic LSN source (consumed by the OR protocol, Section 5.2).
-  uint64_t NextLsn() { return next_lsn_.fetch_add(1) + 1; }
+  /// Append one record; returns its LSN.
+  uint64_t Append(const LogRecord& rec);
 
-  void Append(const LogRecord& rec);
+  /// LSN of the most recently appended record (0 = empty log).
+  uint64_t last_lsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
 
   /// Flush buffered records to the OS; fsync when `sync`.
   Status Flush(bool sync);
 
-  /// Replay every well-formed record, stopping at the first torn or
-  /// corrupt frame (crash tail). Static: operates on a closed file.
+  /// Drop every record with LSN <= watermark (checkpoint truncation,
+  /// Section 5.1.3): the retained tail is rewritten behind a
+  /// kTruncationPoint record via temp file + atomic rename.
+  Status TruncateTo(uint64_t watermark_lsn);
+
+  /// Replay every well-formed record, stopping cleanly at the first
+  /// torn or corrupt frame (crash tail). Static: operates on a closed
+  /// file. The extended overload reports each record's LSN and fills
+  /// `stats` (recovered-up-to LSN, torn-tail flag).
   static Status Replay(const std::string& path,
                        const std::function<void(const LogRecord&)>& fn);
+  static Status Replay(
+      const std::string& path,
+      const std::function<void(const LogRecord&, uint64_t lsn)>& fn,
+      ReplayStats* stats);
 
   /// Serialize / deserialize one payload (exposed for tests).
   static void EncodePayload(const LogRecord& rec, std::string* out);
   static bool DecodePayload(const char* data, size_t size, LogRecord* rec);
 
  private:
+  /// Scan `data`, invoking `fn` per good non-truncation-point frame
+  /// with its LSN and byte span; fills `stats`. The single source of
+  /// truth for frame parsing (Replay, Open repair, and TruncateTo).
+  static void ScanFrames(
+      const std::string& data,
+      const std::function<void(const LogRecord&, uint64_t lsn,
+                               size_t frame_begin, size_t frame_end)>& fn,
+      ReplayStats* stats);
+
+  static void AppendFrame(std::string* out, const std::string& payload);
+
   std::FILE* file_ = nullptr;
+  std::string path_;
   std::mutex mu_;
   std::string buffer_;
-  std::atomic<uint64_t> next_lsn_{0};
+  std::atomic<uint64_t> last_lsn_{0};
 };
 
 /// FNV-1a 32-bit checksum over a byte range.
 uint32_t Fnv1a32(const char* data, size_t n);
+
+/// Incremental FNV-1a 64-bit (whole-file checksums of checkpoints).
+inline constexpr uint64_t kFnv1a64Seed = 14695981039346656037ull;
+inline uint64_t Fnv1a64(const char* data, size_t n,
+                        uint64_t h = kFnv1a64Seed) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace lstore
 
