@@ -17,9 +17,9 @@ double MeasureReads(Table& table, uint64_t rows, int iters) {
   std::vector<Value> out;
   auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) {
-    Transaction txn = table.Begin();
-    (void)table.Read(&txn, i % rows, 0b0110, &out);
-    (void)table.Commit(&txn);
+    Txn txn = table.Begin();
+    (void)table.Read(txn, i % rows, 0b0110, &out);
+    (void)txn.Commit();
   }
   auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
@@ -45,13 +45,13 @@ int main() {
     tc.cumulative_updates = cumulative;
     Table table("abl", Schema(11), tc);
     {
-      Transaction txn = table.Begin();
+      Txn txn = table.Begin();
       std::vector<Value> row(11, 1);
       for (Value k = 0; k < kRows; ++k) {
         row[0] = k;
-        (void)table.Insert(&txn, row);
+        (void)table.Insert(txn, row);
       }
-      (void)table.Commit(&txn);
+      (void)txn.Commit();
     }
     // Alternate updates of columns 1 and 2 so the latest version of
     // each column lands in different tail records without cumulation.
@@ -59,15 +59,15 @@ int main() {
     uint64_t updates = 0;
     for (int round = 0; round < kUpdateRounds; ++round) {
       for (Value k = 0; k < kRows; ++k) {
-        Transaction txn = table.Begin();
+        Txn txn = table.Begin();
         std::vector<Value> row(11, 0);
         ColumnMask mask = (round % 2 == 0) ? 0b0010 : 0b0100;
         row[1] = row[2] = round;
-        if (table.Update(&txn, k, mask, row).ok()) {
-          (void)table.Commit(&txn);
+        if (table.Update(txn, k, mask, row).ok()) {
+          (void)txn.Commit();
           ++updates;
         } else {
-          table.Abort(&txn);
+          txn.Abort();
         }
       }
     }

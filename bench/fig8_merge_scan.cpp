@@ -43,5 +43,27 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // Parallel-scan scaling: the same snapshot scan fanned out on the
+  // shared worker pool across update-range partitions (Query layer),
+  // quiescent and with concurrent updaters. Expect near-linear
+  // speedup while workers <= cores; identical sums by construction.
+  std::printf("\nParallel Query::Sum scaling (merge M = range/2)\n");
+  std::printf("%-24s %10s %12s %10s\n", "scan workers", "quiet (s)",
+              "updated (s)", "speedup");
+  WorkloadConfig cfg = base;
+  cfg.merge_threshold = kRange / 2;
+  auto engine = LoadedEngine(EngineKind::kLStore, cfg);
+  double base_quiet = 0;
+  for (uint32_t workers : ThreadPoints()) {
+    engine->SetScanWorkers(workers);
+    double quiet = TimeScanUnderUpdates(*engine, cfg, 0, /*repeats=*/3);
+    uint32_t upd = std::min(4u, cap);
+    double updated = TimeScanUnderUpdates(*engine, cfg, upd, /*repeats=*/3);
+    if (workers == 1) base_quiet = quiet;
+    std::printf("%-24u %10.4f %12.4f %9.2fx\n", workers, quiet, updated,
+                base_quiet > 0 ? base_quiet / quiet : 0.0);
+    std::fflush(stdout);
+  }
   return 0;
 }

@@ -37,25 +37,25 @@ std::unique_ptr<Database> OpenDb(const std::string& dir) {
 
 void Load(Database* db, Table* t, uint64_t rows) {
   for (uint64_t k = 0; k < rows;) {
-    Transaction txn = db->Begin();
+    Txn txn = db->Begin();
     for (uint64_t i = 0; i < 1000 && k < rows; ++i, ++k) {
       std::vector<Value> row(kColumns, k);
-      (void)t->Insert(&txn, row);
+      (void)t->Insert(txn, row);
     }
-    (void)db->Commit(&txn);
+    (void)txn.Commit();
   }
 }
 
 void Update(Database* db, Table* t, uint64_t count, uint64_t rows) {
   Random rng(42);
   for (uint64_t done = 0; done < count;) {
-    Transaction txn = db->Begin();
+    Txn txn = db->Begin();
     for (uint64_t i = 0; i < 100 && done < count; ++i, ++done) {
       std::vector<Value> row(kColumns, 0);
       row[1] = done;
-      (void)t->Update(&txn, rng.Uniform(rows), 0b00010, row);
+      (void)t->Update(txn, rng.Uniform(rows), 0b00010, row);
     }
-    (void)db->Commit(&txn);
+    (void)txn.Commit();
   }
 }
 

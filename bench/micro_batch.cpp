@@ -1,0 +1,215 @@
+// Batched point operations vs looped single operations: MultiRead,
+// InsertBatch, and UpdateBatch amortize primary-index shard latches,
+// epoch pins, and redo-log framing (one frame per batch). Also prints
+// the parallel Query::Sum scaling curve on a large table — the
+// acceptance scenario for the partitioned scan executor.
+//
+// Sizes scale with LSTORE_BENCH_SCALE (default 100000; the scan curve
+// uses max(scale, 1M) rows when LSTORE_BENCH_SCALE is unset).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "core/query.h"
+#include "core/table.h"
+
+using namespace lstore;
+using namespace lstore::bench;
+
+namespace {
+
+using Clk = std::chrono::steady_clock;
+
+double Secs(Clk::time_point a, Clk::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+TableConfig BatchConfig(bool logging, const std::string& log_path) {
+  TableConfig cfg;
+  cfg.range_size = 1u << 12;
+  cfg.insert_range_size = 1u << 12;
+  cfg.merge_threshold = 1u << 11;
+  cfg.enable_merge_thread = false;
+  cfg.enable_logging = logging;
+  cfg.log_path = log_path;
+  return cfg;
+}
+
+std::unique_ptr<Table> LoadedTable(uint64_t rows, bool logging,
+                                   const std::string& log_path) {
+  auto table =
+      std::make_unique<Table>("m", Schema(5), BatchConfig(logging, log_path));
+  Txn txn = table->Begin();
+  std::vector<std::vector<Value>> batch;
+  for (Value k = 0; k < rows; ++k) {
+    batch.push_back({k, k + 1, k + 2, k + 3, k + 4});
+    if (batch.size() == 4096) {
+      (void)table->InsertBatch(txn, batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) (void)table->InsertBatch(txn, batch);
+  (void)txn.Commit();
+  table->FlushAll();
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Batched point ops vs looped singles + parallel scan scaling",
+              "batching amortizes index probes, epoch pins, and log frames; "
+              "partitioned snapshot scans speed up with workers");
+
+  const uint64_t kRows = std::max<uint64_t>(EnvScale(), 10000);
+  const uint64_t kOps = std::min<uint64_t>(kRows, 50000);
+  const uint32_t kBatch = 256;
+  std::string dir = ScratchDir("micro_batch");
+
+  // --- MultiRead vs looped Read (no logging) -----------------------------
+  {
+    auto table = LoadedTable(kRows, false, "");
+    Random rng(1);
+    std::vector<Value> keys(kOps);
+    for (auto& k : keys) k = rng.Uniform(kRows);
+
+    auto t0 = Clk::now();
+    {
+      Txn txn = table->Begin();
+      std::vector<Value> out;
+      for (Value k : keys) (void)table->Read(txn, k, 0b00110, &out);
+      (void)txn.Commit();
+    }
+    auto t1 = Clk::now();
+    {
+      Txn txn = table->Begin();
+      std::vector<std::vector<Value>> rows;
+      for (uint64_t i = 0; i < kOps; i += kBatch) {
+        std::vector<Value> slice(
+            keys.begin() + i,
+            keys.begin() + std::min<uint64_t>(i + kBatch, kOps));
+        (void)table->MultiRead(txn, slice, 0b00110, &rows);
+      }
+      (void)txn.Commit();
+    }
+    auto t2 = Clk::now();
+    double looped = Secs(t0, t1), batched = Secs(t1, t2);
+    std::printf("%-34s %10.0f ops/s\n", "Read (looped)", kOps / looped);
+    std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "MultiRead (batch=256)",
+                kOps / batched, looped / batched);
+  }
+
+  // --- InsertBatch vs looped Insert (logging ON: frame amortization) -----
+  {
+    double looped, batched;
+    {
+      auto table = std::make_unique<Table>(
+          "ins1", Schema(5), BatchConfig(true, dir + "/ins1.log"));
+      Txn txn = table->Begin();
+      auto t0 = Clk::now();
+      for (Value k = 0; k < kOps; ++k) {
+        (void)table->Insert(txn, {k, 1, 2, 3, 4});
+      }
+      looped = Secs(t0, Clk::now());
+      (void)txn.Commit();
+    }
+    {
+      auto table = std::make_unique<Table>(
+          "ins2", Schema(5), BatchConfig(true, dir + "/ins2.log"));
+      Txn txn = table->Begin();
+      auto t0 = Clk::now();
+      std::vector<std::vector<Value>> rows;
+      for (Value k = 0; k < kOps; ++k) {
+        rows.push_back({k, 1, 2, 3, 4});
+        if (rows.size() == kBatch) {
+          (void)table->InsertBatch(txn, rows);
+          rows.clear();
+        }
+      }
+      if (!rows.empty()) (void)table->InsertBatch(txn, rows);
+      batched = Secs(t0, Clk::now());
+      (void)txn.Commit();
+    }
+    std::printf("%-34s %10.0f ops/s\n", "Insert (looped, logged)",
+                kOps / looped);
+    std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "InsertBatch (logged)",
+                kOps / batched, looped / batched);
+  }
+
+  // --- UpdateBatch vs looped Update (logging ON) -------------------------
+  {
+    auto table = LoadedTable(kRows, true, dir + "/upd.log");
+    // A stride walk gives distinct keys spread across ranges.
+    std::vector<Value> keys(kOps);
+    for (uint64_t i = 0; i < kOps; ++i) keys[i] = (i * 7919) % kRows;
+    std::vector<Value> row(5, 99);
+
+    Txn txn = table->Begin();
+    auto t0 = Clk::now();
+    for (uint64_t i = 0; i < kOps / 2; ++i) {
+      (void)table->Update(txn, keys[i], 0b00010, row);
+    }
+    auto t1 = Clk::now();
+    std::vector<std::vector<Value>> rows(kBatch, row);
+    for (uint64_t i = kOps / 2; i + kBatch <= kOps; i += kBatch) {
+      std::vector<Value> slice(keys.begin() + i, keys.begin() + i + kBatch);
+      (void)table->UpdateBatch(txn, slice, 0b00010, rows);
+    }
+    auto t2 = Clk::now();
+    (void)txn.Commit();
+    double looped = Secs(t0, t1) / (kOps / 2);
+    double batched = Secs(t1, t2) / (kOps / 2 - kBatch);
+    std::printf("%-34s %10.0f ops/s\n", "Update (looped, logged)",
+                1.0 / looped);
+    std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "UpdateBatch (logged)",
+                1.0 / batched, looped / batched);
+  }
+
+  // --- Parallel Query::Sum scaling on a large table ----------------------
+  // The acceptance scenario: >= 1M rows, identical sums at every
+  // worker count, >= 3x at 8 workers on sufficiently parallel hardware.
+  {
+    const uint64_t scan_rows =
+        std::getenv("LSTORE_BENCH_SCALE") != nullptr
+            ? std::max<uint64_t>(kRows, 100000)
+            : std::max<uint64_t>(kRows, 1000000);
+    auto table = LoadedTable(scan_rows, false, "");
+    std::printf("\nParallel Query::Sum over %llu rows\n",
+                static_cast<unsigned long long>(scan_rows));
+    std::printf("%-12s %12s %14s %10s\n", "workers", "time (s)", "rows/s",
+                "speedup");
+    uint64_t expect = 0;
+    double base = 0;
+    for (uint32_t workers : ThreadPoints()) {
+      uint64_t sum = 0;
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto t0 = Clk::now();
+        (void)table->NewQuery().Workers(workers).Sum(1, &sum);
+        best = std::min(best, Secs(t0, Clk::now()));
+      }
+      if (workers == 1) {
+        base = best;
+        expect = sum;
+      } else if (sum != expect) {
+        std::printf("SUM MISMATCH at %u workers: %llu != %llu\n", workers,
+                    static_cast<unsigned long long>(sum),
+                    static_cast<unsigned long long>(expect));
+        return 1;
+      }
+      std::printf("%-12u %12.4f %14.0f %9.2fx\n", workers, best,
+                  scan_rows / best, base / best);
+      std::fflush(stdout);
+    }
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
+#include "core/query.h"
 #include "core/table.h"
 #include "storage/compressed_column.h"
 #include "storage/compression/delta.h"
@@ -25,14 +26,14 @@ TableConfig BenchConfig() {
 
 std::unique_ptr<Table> MakeLoadedTable(uint64_t rows, bool merged) {
   auto table = std::make_unique<Table>("b", Schema(11), BenchConfig());
-  Transaction txn = table->Begin();
+  Txn txn = table->Begin();
   std::vector<Value> row(11);
   for (Value k = 0; k < rows; ++k) {
     row[0] = k;
     for (int c = 1; c < 11; ++c) row[c] = k + c;
-    (void)table->Insert(&txn, row);
+    (void)table->Insert(txn, row);
   }
-  (void)table->Commit(&txn);
+  (void)txn.Commit();
   if (merged) table->FlushAll();
   return table;
 }
@@ -43,9 +44,9 @@ void BM_Insert(benchmark::State& state) {
   Value key = 0;
   for (auto _ : state) {
     row[0] = key++;
-    Transaction txn = table->Begin();
-    benchmark::DoNotOptimize(table->Insert(&txn, row));
-    (void)table->Commit(&txn);
+    Txn txn = table->Begin();
+    benchmark::DoNotOptimize(table->Insert(txn, row));
+    (void)txn.Commit();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -56,10 +57,10 @@ void BM_PointReadMergedBase(benchmark::State& state) {
   Random rng(1);
   std::vector<Value> out;
   for (auto _ : state) {
-    Transaction txn = table->Begin();
+    Txn txn = table->Begin();
     benchmark::DoNotOptimize(
-        table->Read(&txn, rng.Uniform(1u << 12), 0b0110, &out));
-    (void)table->Commit(&txn);
+        table->Read(txn, rng.Uniform(1u << 12), 0b0110, &out));
+    (void)txn.Commit();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -70,18 +71,18 @@ void BM_PointReadTailResident(benchmark::State& state) {
   Random rng(2);
   // Touch every record once so reads chase one tail hop.
   for (Value k = 0; k < (1u << 12); ++k) {
-    Transaction txn = table->Begin();
+    Txn txn = table->Begin();
     std::vector<Value> row(11, 0);
     row[1] = k;
-    (void)table->Update(&txn, k, 0b0010, row);
-    (void)table->Commit(&txn);
+    (void)table->Update(txn, k, 0b0010, row);
+    (void)txn.Commit();
   }
   std::vector<Value> out;
   for (auto _ : state) {
-    Transaction txn = table->Begin();
+    Txn txn = table->Begin();
     benchmark::DoNotOptimize(
-        table->Read(&txn, rng.Uniform(1u << 12), 0b0010, &out));
-    (void)table->Commit(&txn);
+        table->Read(txn, rng.Uniform(1u << 12), 0b0010, &out));
+    (void)txn.Commit();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -92,10 +93,10 @@ void BM_Update(benchmark::State& state) {
   Random rng(3);
   std::vector<Value> row(11, 7);
   for (auto _ : state) {
-    Transaction txn = table->Begin();
+    Txn txn = table->Begin();
     benchmark::DoNotOptimize(
-        table->Update(&txn, rng.Uniform(1u << 12), 0b0010, row));
-    (void)table->Commit(&txn);
+        table->Update(txn, rng.Uniform(1u << 12), 0b0010, row));
+    (void)txn.Commit();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -107,10 +108,10 @@ void BM_UpdateFourColumns(benchmark::State& state) {
   Random rng(4);
   std::vector<Value> row(11, 7);
   for (auto _ : state) {
-    Transaction txn = table->Begin();
+    Txn txn = table->Begin();
     benchmark::DoNotOptimize(
-        table->Update(&txn, rng.Uniform(1u << 12), 0b11110, row));
-    (void)table->Commit(&txn);
+        table->Update(txn, rng.Uniform(1u << 12), 0b11110, row));
+    (void)txn.Commit();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -123,9 +124,9 @@ void BM_MergeRange(benchmark::State& state) {
     Random rng(5);
     std::vector<Value> row(11, 9);
     for (int i = 0; i < 2048; ++i) {
-      Transaction txn = table->Begin();
-      (void)table->Update(&txn, rng.Uniform(1u << 12), 0b0010, row);
-      (void)table->Commit(&txn);
+      Txn txn = table->Begin();
+      (void)table->Update(txn, rng.Uniform(1u << 12), 0b0010, row);
+      (void)txn.Commit();
     }
     state.ResumeTiming();
     benchmark::DoNotOptimize(table->MergeRangeNow(0));
@@ -138,8 +139,8 @@ void BM_ScanMerged(benchmark::State& state) {
   auto table = MakeLoadedTable(1u << 14, /*merged=*/true);
   for (auto _ : state) {
     uint64_t sum = 0;
-    Timestamp now = table->txn_manager().clock().Tick();
-    (void)table->SumColumnRange(1, now, 0, 1u << 14, &sum);
+    Timestamp now = table->Now();
+    (void)table->NewQuery().AsOf(now).Sum(1, &sum);
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * (1u << 14));

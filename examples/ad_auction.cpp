@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/query.h"
 #include "core/table.h"
 
 using namespace lstore;
@@ -41,12 +42,14 @@ int main() {
   // Load the shopper population.
   {
     Random rng(42);
-    Transaction txn = shoppers.Begin();
+    Txn txn = shoppers.Begin();
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(kShoppers);
     for (Value id = 0; id < kShoppers; ++id) {
-      shoppers.Insert(&txn,
-                      {id, rng.Uniform(8), rng.Uniform(16), 0, 0, 0, 0});
+      rows.push_back({id, rng.Uniform(8), rng.Uniform(16), 0, 0, 0, 0});
     }
-    shoppers.Commit(&txn);
+    shoppers.InsertBatch(txn, rows);  // one redo frame, one index pass
+    txn.Commit();
   }
   shoppers.FlushAll();
   shoppers.CreateSecondaryIndex(kSegment);
@@ -61,10 +64,10 @@ int main() {
     Random rng(7);
     while (!stop.load()) {
       Value id = rng.Uniform(kShoppers);
-      Transaction txn = shoppers.Begin();
+      Txn txn = shoppers.Begin();
       std::vector<Value> s;
-      if (!shoppers.Read(&txn, id, 0b1111000, &s).ok()) {
-        shoppers.Abort(&txn);
+      if (!shoppers.Read(txn, id, 0b1111000, &s).ok()) {
+        txn.Abort();
         continue;
       }
       bool clicked = rng.Percent(10);
@@ -81,13 +84,12 @@ int main() {
         row[kPurchases] = s[kPurchases] + 1;
         row[kSpend] = s[kSpend] + 99 + rng.Uniform(9900);
       }
-      if (shoppers.Update(&txn, id, mask, row).ok() &&
-          shoppers.Commit(&txn).ok()) {
+      if (shoppers.Update(txn, id, mask, row).ok() &&
+          txn.Commit().ok()) {
         events.fetch_add(1);
         if (bought) conversions.fetch_add(1);
-      } else if (!txn.finished()) {
-        shoppers.Abort(&txn);
       }
+      // A failed session auto-aborts when `txn` leaves scope.
     }
   });
 
@@ -98,8 +100,9 @@ int main() {
   for (int tick = 1; tick <= 5; ++tick) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     uint64_t spend = 0;
-    Timestamp snap = shoppers.txn_manager().clock().Tick();
-    shoppers.SumColumnRange(kSpend, snap, 0, shoppers.num_rows(), &spend);
+    // A consistent snapshot (Now() never ticks the clock), scanned in
+    // parallel along update-range partitions on the shared pool.
+    shoppers.NewQuery().Workers(0).Sum(kSpend, &spend);
     std::printf("%-10d %14llu %14llu %16.2f\n", tick,
                 static_cast<unsigned long long>(events.load()),
                 static_cast<unsigned long long>(conversions.load()),
@@ -110,8 +113,8 @@ int main() {
 
   // Targeting query: shoppers in segment 3 (index candidates are
   // re-validated against the snapshot, Section 3.1).
-  Timestamp now = shoppers.txn_manager().clock().Tick();
-  auto segment3 = shoppers.SelectKeysWhere(kSegment, 3, now);
+  std::vector<Value> segment3;
+  shoppers.NewQuery().Where(kSegment, Value{3}).Keys(&segment3);
   std::printf("segment 3 audience: %zu shoppers\n", segment3.size());
 
   // Merge statistics: the background merge kept tail pages bounded

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/query.h"
 #include "core/table.h"
 
 using namespace lstore;
@@ -48,11 +49,14 @@ int main() {
               config);
   {
     Random rng(3);
-    Transaction txn = cards.Begin();
+    Txn txn = cards.Begin();
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(kCards);
     for (Value id = 0; id < kCards; ++id) {
-      cards.Insert(&txn, {id, 50000 + rng.Uniform(500000), 0, 0, 100, 0});
+      rows.push_back({id, 50000 + rng.Uniform(500000), 0, 0, 100, 0});
     }
-    cards.Commit(&txn);
+    cards.InsertBatch(txn, rows);  // one redo frame for the whole load
+    txn.Commit();
   }
   cards.FlushAll();
 
@@ -63,10 +67,10 @@ int main() {
     Value id = rng.Uniform(kCards);
     Value amount = 50 + rng.Uniform(2000) * (rng.Percent(3) ? 100 : 1);
     // Serializable: the risk decision must be based on a stable view.
-    Transaction txn = cards.Begin(IsolationLevel::kSerializable);
+    Txn txn = cards.Begin(IsolationLevel::kSerializable);
     std::vector<Value> card;
-    if (!cards.Read(&txn, id, 0b111110, &card).ok()) {
-      cards.Abort(&txn);
+    if (!cards.Read(txn, id, 0b111110, &card).ok()) {
+      txn.Abort();
       return;
     }
     Value score = RiskScore(card, amount);
@@ -84,12 +88,12 @@ int main() {
       row[kLastAmount] = amount;
       row[kRisk] = score;
     }
-    if (!cards.Update(&txn, id, mask, row).ok()) {
-      cards.Abort(&txn);
+    if (!cards.Update(txn, id, mask, row).ok()) {
+      txn.Abort();
       retried.fetch_add(1);
       return;
     }
-    if (cards.Commit(&txn).ok()) {
+    if (txn.Commit().ok()) {
       (score >= 50 ? declined : approved).fetch_add(1);
     } else {
       retried.fetch_add(1);  // validation conflict: caller retries
@@ -108,8 +112,9 @@ int main() {
   for (int tick = 1; tick <= 5; ++tick) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     uint64_t risk_sum = 0;
-    Timestamp snap = cards.txn_manager().clock().Tick();
-    cards.SumColumnRange(kRisk, snap, 0, cards.num_rows(), &risk_sum);
+    // Portfolio analytics on a consistent snapshot, concurrent with
+    // the authorization stream (zero ETL, Query fans out on the pool).
+    cards.NewQuery().Workers(0).Sum(kRisk, &risk_sum);
     std::printf("%-8d %12llu %12llu %12llu %18llu\n", tick,
                 static_cast<unsigned long long>(approved.load()),
                 static_cast<unsigned long long>(declined.load()),
@@ -121,7 +126,7 @@ int main() {
 
   // Post-hoc investigation: time travel to audit one card's history.
   std::printf("\naudit: card 123 balance trajectory\n");
-  Timestamp now = cards.txn_manager().clock().Tick();
+  Timestamp now = cards.Now();
   for (Timestamp t = now / 4; t <= now; t += now / 4) {
     std::vector<Value> row;
     if (cards.ReadAsOf(123, t, 1ull << kBalance, &row).ok()) {

@@ -1,11 +1,12 @@
 // Quickstart: the 5-minute tour of the L-Store public API —
-// create a table, run transactions, read current and historical
-// versions, watch the merge consolidate tail pages.
+// RAII transaction sessions, batched point operations, composable
+// snapshot queries, time travel, and the merge.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
+#include "core/query.h"
 #include "core/table.h"
 
 using namespace lstore;
@@ -20,62 +21,79 @@ int main() {
               config);
 
   // --- 1. Insert rows transactionally -----------------------------------
+  // A Txn is an RAII session: it commits via txn.Commit() and aborts
+  // automatically if it goes out of scope first. InsertBatch loads
+  // many rows with one redo-log frame and one index pass.
   {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
+    std::vector<std::vector<Value>> rows;
     for (Value id = 0; id < 100; ++id) {
-      Status s = table.Insert(&txn, {id, 1000, id % 5, 1});
-      if (!s.ok()) {
-        std::printf("insert failed: %s\n", s.ToString().c_str());
-        table.Abort(&txn);
-        return 1;
-      }
+      rows.push_back({id, 1000, id % 5, 1});
     }
-    table.Commit(&txn);
+    Status s = table.InsertBatch(txn, rows);
+    if (!s.ok()) {
+      std::printf("insert failed: %s\n", s.ToString().c_str());
+      return 1;  // txn aborts on scope exit
+    }
+    txn.Commit();
   }
   std::printf("loaded %llu rows\n",
               static_cast<unsigned long long>(table.num_rows()));
 
   // --- 2. Point reads with column projection ----------------------------
   {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
     std::vector<Value> row;
-    table.Read(&txn, /*key=*/42, /*mask=*/0b0010, &row);  // just "balance"
+    table.Read(txn, /*key=*/42, /*mask=*/0b0010, &row);  // just "balance"
     std::printf("account 42 balance = %llu\n",
                 static_cast<unsigned long long>(row[1]));
-    table.Commit(&txn);
+    txn.Commit();
   }
 
   // --- 3. Updates append lineage; aborts leave no trace -----------------
-  Timestamp before_update = table.txn_manager().clock().Tick();
+  Timestamp before_update = table.Now();
   {
-    Transaction txn = table.Begin();
-    table.Update(&txn, 42, 0b0010, {0, 1500, 0, 0});
-    table.Commit(&txn);
+    Txn txn = table.Begin();
+    table.Update(txn, 42, 0b0010, {0, 1500, 0, 0});
+    txn.Commit();
 
-    Transaction bad = table.Begin();
-    table.Update(&bad, 42, 0b0010, {0, 0, 0, 0});
-    table.Abort(&bad);  // tombstoned, never visible
+    Txn bad = table.Begin();
+    table.Update(bad, 42, 0b0010, {0, 0, 0, 0});
+    // No explicit Abort needed: `bad` auto-aborts here, tombstoned.
   }
 
   // --- 4. Time travel ----------------------------------------------------
   {
     std::vector<Value> now_row, old_row;
-    Transaction txn = table.Begin();
-    table.Read(&txn, 42, 0b0010, &now_row);
-    table.Commit(&txn);
+    Txn txn = table.Begin();
+    table.Read(txn, 42, 0b0010, &now_row);
+    txn.Commit();
     table.ReadAsOf(42, before_update, 0b0010, &old_row);
     std::printf("account 42: now=%llu, before update=%llu\n",
                 static_cast<unsigned long long>(now_row[1]),
                 static_cast<unsigned long long>(old_row[1]));
   }
 
-  // --- 5. Analytics: snapshot scans --------------------------------------
+  // --- 5. Analytics: composable snapshot queries -------------------------
+  // Query partitions the scan along update-range boundaries and can
+  // fan out on a shared worker pool; the default snapshot is
+  // Table::Now(), which does not advance the logical clock.
   {
     uint64_t total = 0;
-    Timestamp now = table.txn_manager().clock().Tick();
-    table.SumColumnRange(1, now, 0, table.num_rows(), &total);
+    table.NewQuery().Sum(1, &total);
     std::printf("sum(balance) = %llu (99 x 1000 + 1500)\n",
                 static_cast<unsigned long long>(total));
+
+    uint64_t branch0 = 0, branch0_rows = 0;
+    table.NewQuery().Where(2, Value{0}).Sum(1, &branch0, &branch0_rows);
+    std::printf("branch 0: %llu accounts, %llu total balance\n",
+                static_cast<unsigned long long>(branch0_rows),
+                static_cast<unsigned long long>(branch0));
+
+    uint64_t rich = 0;
+    table.NewQuery().Where(1, [](Value v) { return v > 1000; }).Count(&rich);
+    std::printf("accounts over 1000: %llu\n",
+                static_cast<unsigned long long>(rich));
   }
 
   // --- 6. The merge: consolidate tails into read-optimized pages --------

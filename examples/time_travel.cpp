@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/query.h"
 #include "core/table.h"
 
 using namespace lstore;
@@ -28,28 +29,28 @@ int main() {
     Table inventory("inventory", Schema({"sku", "stock", "price_cents"}),
                     config);
     // Seed and evolve the data through four "days".
-    Transaction txn = inventory.Begin();
+    Txn txn = inventory.Begin();
     for (Value sku = 0; sku < 200; ++sku) {
-      inventory.Insert(&txn, {sku, 100, 999});
+      inventory.Insert(txn, {sku, 100, 999});
     }
-    inventory.Commit(&txn);
+    txn.Commit();
 
     for (int day = 0; day < 4; ++day) {
-      checkpoints.push_back(inventory.txn_manager().clock().Tick());
-      Transaction t = inventory.Begin();
+      checkpoints.push_back(inventory.Now());
+      Txn t = inventory.Begin();
       for (Value sku = 0; sku < 200; sku += 4) {
         // Sell stock and reprice.
-        inventory.Update(&t, sku, 0b110,
+        inventory.Update(t, sku, 0b110,
                          {0, Value(100 - (day + 1) * 10),
                           Value(999 + (day + 1) * 50)});
       }
-      inventory.Commit(&t);
+      t.Commit();
       // Consolidate + compress history as days pass.
       inventory.FlushAll();
       inventory.CompressHistoricNow(0);
       inventory.epochs().TryReclaim();
     }
-    checkpoints.push_back(inventory.txn_manager().clock().Tick());
+    checkpoints.push_back(inventory.Now());
 
     std::printf("SKU 0 stock by day (merged + historic-compressed):\n");
     for (size_t day = 0; day < checkpoints.size(); ++day) {
@@ -59,6 +60,16 @@ int main() {
                     static_cast<unsigned long long>(row[1]),
                     static_cast<unsigned long long>(row[2]));
       }
+    }
+
+    // Aggregates time travel too: total stock at each day's snapshot
+    // (Query::AsOf reconstructs history across merges + compression).
+    std::printf("total stock by day:\n");
+    for (size_t day = 0; day < checkpoints.size(); ++day) {
+      uint64_t total = 0;
+      inventory.NewQuery().AsOf(checkpoints[day]).Sum(1, &total);
+      std::printf("  day %zu: %llu units\n", day,
+                  static_cast<unsigned long long>(total));
     }
     std::printf("historic compressions: %llu\n",
                 static_cast<unsigned long long>(

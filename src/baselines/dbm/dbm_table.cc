@@ -138,12 +138,12 @@ void DbmTable::GateExit() {
 // Transactions
 // ---------------------------------------------------------------------------
 
-Transaction DbmTable::Begin(IsolationLevel iso) {
+Txn DbmTable::Begin(IsolationLevel iso) {
   GateEnter();
-  return txn_manager_->Begin(iso);
+  return Txn(this, txn_manager_->Begin(iso));
 }
 
-Status DbmTable::Commit(Transaction* txn) {
+Status DbmTable::CommitTxn(Transaction* txn) {
   if (txn->finished()) return Status::InvalidArgument("finished");
   Timestamp commit_time = txn_manager_->EnterPreCommit(txn);
   txn_manager_->MarkCommitted(txn);
@@ -161,7 +161,7 @@ Status DbmTable::Commit(Transaction* txn) {
   return Status::OK();
 }
 
-void DbmTable::Abort(Transaction* txn) {
+void DbmTable::AbortTxn(Transaction* txn) {
   if (txn->finished()) return;
   txn_manager_->MarkAborted(txn);
   for (const WriteEntry& w : txn->writeset()) {

@@ -32,27 +32,42 @@
 #include "index/primary_index.h"
 #include "txn/transaction.h"
 #include "txn/transaction_manager.h"
+#include "txn/txn.h"
 
 namespace lstore {
 
-class DbmTable {
+class DbmTable : public TxnContext {
  public:
   DbmTable(Schema schema, TableConfig config,
            TransactionManager* txn_manager = nullptr);
   ~DbmTable();
 
-  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
-  Status Commit(Transaction* txn);
-  void Abort(Transaction* txn);
+  /// RAII session (same surface as Table): commit via txn.Commit(),
+  /// auto-abort on destruction.
+  Txn Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
 
-  Status Insert(Transaction* txn, const std::vector<Value>& row);
-  Status Update(Transaction* txn, Value key, ColumnMask mask,
-                const std::vector<Value>& row);
+  /// Non-ticking read snapshot for scans.
+  Timestamp Now() const { return txn_manager_->SnapshotNow(); }
+
+  Status Insert(Txn& txn, const std::vector<Value>& row) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Insert(txn.raw(), row);
+  }
+  Status Update(Txn& txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Update(txn.raw(), key, mask, row);
+  }
   /// Delete: appends a delta entry flagged as a tombstone; merge
   /// marks the main-store record deleted.
-  Status Delete(Transaction* txn, Value key);
-  Status Read(Transaction* txn, Value key, ColumnMask mask,
-              std::vector<Value>* out);
+  Status Delete(Txn& txn, Value key) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Delete(txn.raw(), key);
+  }
+  Status Read(Txn& txn, Value key, ColumnMask mask, std::vector<Value>* out) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Read(txn.raw(), key, mask, out);
+  }
   Status SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum);
 
   /// Merge one range's delta into its main store, draining all active
@@ -71,6 +86,20 @@ class DbmTable {
   }
 
  private:
+  // Session plumbing (TxnContext) + transaction-pointer cores.
+  static Status CheckActive(const Txn& txn) {
+    return txn.active() ? Status::OK()
+                        : Status::InvalidArgument("transaction finished");
+  }
+  Status CommitTxn(Transaction* txn) override;
+  void AbortTxn(Transaction* txn) override;
+  Status Insert(Transaction* txn, const std::vector<Value>& row);
+  Status Update(Transaction* txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row);
+  Status Delete(Transaction* txn, Value key);
+  Status Read(Transaction* txn, Value key, ColumnMask mask,
+              std::vector<Value>* out);
+
   // Delta entry stride layout:
   // [0]=start_raw, [1]=prev_idx, [2]=slot, [3]=mask, [4..4+ncols).
   static constexpr uint32_t kDeltaHeader = 4;

@@ -103,11 +103,11 @@ uint64_t IuhTable::HistReserve() {
   return idx;
 }
 
-Transaction IuhTable::Begin(IsolationLevel iso) {
-  return txn_manager_->Begin(iso);
+Txn IuhTable::Begin(IsolationLevel iso) {
+  return Txn(this, txn_manager_->Begin(iso));
 }
 
-Status IuhTable::Commit(Transaction* txn) {
+Status IuhTable::CommitTxn(Transaction* txn) {
   if (txn->finished()) return Status::InvalidArgument("finished");
   Timestamp commit_time = txn_manager_->EnterPreCommit(txn);
   txn_manager_->MarkCommitted(txn);
@@ -124,7 +124,7 @@ Status IuhTable::Commit(Transaction* txn) {
   return Status::OK();
 }
 
-void IuhTable::Abort(Transaction* txn) {
+void IuhTable::AbortTxn(Transaction* txn) {
   if (txn->finished()) return;
   txn_manager_->MarkAborted(txn);
   const uint32_t ncols = schema_.num_columns();

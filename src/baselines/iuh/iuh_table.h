@@ -28,25 +28,40 @@
 #include "index/primary_index.h"
 #include "txn/transaction.h"
 #include "txn/transaction_manager.h"
+#include "txn/txn.h"
 
 namespace lstore {
 
-class IuhTable {
+class IuhTable : public TxnContext {
  public:
   IuhTable(Schema schema, TableConfig config,
            TransactionManager* txn_manager = nullptr);
   ~IuhTable();
 
-  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
-  Status Commit(Transaction* txn);
-  void Abort(Transaction* txn);
+  /// RAII session (same surface as Table): commit via txn.Commit(),
+  /// auto-abort on destruction.
+  Txn Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
 
-  Status Insert(Transaction* txn, const std::vector<Value>& row);
-  Status Update(Transaction* txn, Value key, ColumnMask mask,
-                const std::vector<Value>& row);
-  Status Delete(Transaction* txn, Value key);
-  Status Read(Transaction* txn, Value key, ColumnMask mask,
-              std::vector<Value>* out);
+  /// Non-ticking read snapshot for scans.
+  Timestamp Now() const { return txn_manager_->SnapshotNow(); }
+
+  Status Insert(Txn& txn, const std::vector<Value>& row) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Insert(txn.raw(), row);
+  }
+  Status Update(Txn& txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Update(txn.raw(), key, mask, row);
+  }
+  Status Delete(Txn& txn, Value key) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Delete(txn.raw(), key);
+  }
+  Status Read(Txn& txn, Value key, ColumnMask mask, std::vector<Value>* out) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Read(txn.raw(), key, mask, out);
+  }
   Status SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum) const;
 
   const Schema& schema() const { return schema_; }
@@ -59,6 +74,20 @@ class IuhTable {
   }
 
  private:
+  // Session plumbing (TxnContext) + transaction-pointer cores.
+  static Status CheckActive(const Txn& txn) {
+    return txn.active() ? Status::OK()
+                        : Status::InvalidArgument("transaction finished");
+  }
+  Status CommitTxn(Transaction* txn) override;
+  void AbortTxn(Transaction* txn) override;
+  Status Insert(Transaction* txn, const std::vector<Value>& row);
+  Status Update(Transaction* txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row);
+  Status Delete(Transaction* txn, Value key);
+  Status Read(Transaction* txn, Value key, ColumnMask mask,
+              std::vector<Value>* out);
+
   // History entry fields (flat stride layout):
   // [0]=rid, [1]=prev_idx, [2]=old_start_raw, [3]=mask|flags,
   // [4..4+ncols) = old values of updated columns (∅ elsewhere).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitutil.h"
+#include "core/query.h"
 
 namespace lstore {
 namespace bench {
@@ -63,20 +64,20 @@ class EngineBase : public Engine {
     std::vector<Value> row(ncols_);
     const uint64_t batch = 10000;
     for (uint64_t k = 0; k < n;) {
-      Transaction txn = table_.Begin(IsolationLevel::kReadCommitted);
+      Txn txn = table_.Begin(IsolationLevel::kReadCommitted);
       uint64_t end = std::min(n, k + batch);
       for (; k < end; ++k) {
         row[0] = k;
         for (ColumnId c = 1; c < ncols_; ++c) row[c] = CellValue(k, c);
-        (void)table_.Insert(&txn, row);
+        (void)table_.Insert(txn, row);
       }
-      (void)table_.Commit(&txn);
+      (void)txn.Commit();
     }
     Settle();
   }
 
   bool UpdateTxn(Random& rng, const WorkloadConfig& cfg) override {
-    Transaction txn = table_.Begin(IsolationLevel::kReadCommitted);
+    Txn txn = table_.Begin(IsolationLevel::kReadCommitted);
     std::vector<Value> out;
     std::vector<Value> row(ncols_, 0);
     uint32_t write_cols =
@@ -84,9 +85,9 @@ class EngineBase : public Engine {
     for (uint32_t i = 0; i < cfg.reads_per_txn; ++i) {
       Value key = rng.Uniform(cfg.active_set);
       ColumnMask mask = PickColumns(rng, ncols_, 2);
-      Status s = table_.Read(&txn, key, mask, &out);
+      Status s = table_.Read(txn, key, mask, &out);
       if (s.IsAborted()) {
-        table_.Abort(&txn);
+        txn.Abort();
         return false;
       }
     }
@@ -94,32 +95,33 @@ class EngineBase : public Engine {
       Value key = rng.Uniform(cfg.active_set);
       ColumnMask mask = PickColumns(rng, ncols_, write_cols);
       for (BitIter it(mask); it; ++it) row[*it] = rng.Next() % 1000000;
-      Status s = table_.Update(&txn, key, mask, row);
+      Status s = table_.Update(txn, key, mask, row);
       if (!s.ok()) {
-        table_.Abort(&txn);
+        txn.Abort();
         return false;
       }
     }
-    return table_.Commit(&txn).ok();
+    return txn.Commit().ok();
   }
 
   bool PointReadTxn(Random& rng, const WorkloadConfig& cfg, uint32_t reads,
                     uint64_t cols_mask) override {
-    Transaction txn = table_.Begin(IsolationLevel::kReadCommitted);
+    Txn txn = table_.Begin(IsolationLevel::kReadCommitted);
     std::vector<Value> out;
     for (uint32_t i = 0; i < reads; ++i) {
       Value key = rng.Uniform(cfg.active_set);
-      Status s = table_.Read(&txn, key, cols_mask, &out);
+      Status s = table_.Read(txn, key, cols_mask, &out);
       if (s.IsAborted()) {
-        table_.Abort(&txn);
+        txn.Abort();
         return false;
       }
     }
-    return table_.Commit(&txn).ok();
+    return txn.Commit().ok();
   }
 
   uint64_t ReadTimestamp() override {
-    return table_.txn_manager().clock().Tick();
+    // Non-ticking: scans must not inflate the logical clock.
+    return table_.Now();
   }
 
   TableT& table() { return table_; }
@@ -146,10 +148,17 @@ class LStoreEngine : public EngineBase<Table> {
 
   uint64_t ScanSum() override {
     uint64_t sum = 0;
-    (void)table_.SumColumnRange(1, ReadTimestamp(), 0, table_.num_rows(),
-                                &sum);
+    (void)table_.NewQuery()
+        .AsOf(ReadTimestamp())
+        .Workers(scan_workers_)
+        .Sum(1, &sum);
     return sum;
   }
+
+  void SetScanWorkers(uint32_t n) override { scan_workers_ = n; }
+
+ private:
+  uint32_t scan_workers_ = 1;
 };
 
 class RowEngine : public EngineBase<RowTable> {

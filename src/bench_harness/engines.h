@@ -49,6 +49,10 @@ class Engine {
   /// whole table (the Section 6.2 scan workload).
   virtual uint64_t ScanSum() = 0;
 
+  /// Parallel fan-out for ScanSum where the engine supports it
+  /// (L-Store's Query layer); 0 = auto-size, 1 (default) = serial.
+  virtual void SetScanWorkers(uint32_t) {}
+
   /// A current read timestamp for snapshot scans.
   virtual uint64_t ReadTimestamp() = 0;
 

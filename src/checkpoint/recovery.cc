@@ -46,7 +46,6 @@ std::vector<ColumnId> Table::SecondaryColumns() const {
 
 Status Table::ReplayAndRebuild(uint64_t watermark) {
   std::unordered_map<TxnId, Timestamp> commits;
-  std::unordered_set<TxnId> aborted;
   Timestamp max_time = 0;
 
   // --- step 2: replay the redo-log tail -----------------------------------
@@ -61,7 +60,14 @@ Status Table::ReplayAndRebuild(uint64_t watermark) {
               commits[rec.txn_id] = rec.commit_time;
               break;
             case LogRecordType::kAbort:
-              aborted.insert(rec.txn_id);
+              // An abort record can FOLLOW a commit record of the same
+              // transaction: the pipeline appends per-table commit
+              // records first and aborts if any of them fails, so the
+              // later abort is authoritative (the in-memory commit
+              // point, the manager state flip, never happened). Txn
+              // ids are never reused, so erasing cannot drop a commit
+              // that comes later in the log.
+              commits.erase(rec.txn_id);
               break;
             case LogRecordType::kTailAppend:
             case LogRecordType::kInsertAppend:

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace lstore {
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  workers_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::Joinable(const Job& job) {
+  return job.next.load(std::memory_order_relaxed) < job.num_tasks &&
+         (job.max_workers == 0 ||
+          job.executors.load(std::memory_order_relaxed) < job.max_workers);
+}
+
+void ThreadPool::Execute(const std::shared_ptr<Job>& job) {
+  uint64_t t;
+  while ((t = job->next.fetch_add(1, std::memory_order_relaxed)) <
+         job->num_tasks) {
+    job->fn(t);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_tasks) {
+      std::lock_guard<std::mutex> g(job->mu);
+      job->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_.wait(g, [this, &job] {
+        if (stop_) return true;
+        // Drop fully-claimed jobs from the front, then join the first
+        // job still accepting executors.
+        while (!jobs_.empty() &&
+               jobs_.front()->next.load(std::memory_order_relaxed) >=
+                   jobs_.front()->num_tasks) {
+          jobs_.pop_front();
+        }
+        for (const auto& j : jobs_) {
+          if (Joinable(*j)) {
+            job = j;
+            return true;
+          }
+        }
+        return false;
+      });
+      if (stop_) return;
+      job->executors.fetch_add(1, std::memory_order_relaxed);
+    }
+    Execute(job);
+    job->executors.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t num_tasks, uint32_t max_workers,
+                             const std::function<void(uint64_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || max_workers == 1 || workers_.empty()) {
+    for (uint64_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->num_tasks = num_tasks;
+  job->max_workers = max_workers;
+  // The caller participates (progress is guaranteed even when every
+  // pool thread is parked on another job) and counts toward the
+  // executor cap, so it claims its slot BEFORE the job is published.
+  job->executors.store(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  Execute(job);
+  job->executors.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> g(job->mu);
+    job->cv.wait(g, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_tasks;
+    });
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    uint32_t n = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("LSTORE_SCAN_THREADS")) {
+      long v = std::atol(env);
+      if (v >= 0) n = static_cast<uint32_t>(v) + 1;
+    }
+    return new ThreadPool(n > 0 ? n - 1 : 0);
+  }();
+  return *pool;
+}
+
+}  // namespace lstore

@@ -1,0 +1,78 @@
+// Shared worker pool for parallel snapshot scans (Section 6.2: the
+// scan workload partitions naturally along update-range boundaries).
+//
+// One process-wide pool is shared by every Query so that concurrent
+// analytical queries multiplex a bounded set of threads instead of
+// each spawning its own. The submitting thread always participates in
+// its own job, so ParallelFor makes progress even when every pool
+// thread is busy (or the pool has size 0).
+
+#ifndef LSTORE_COMMON_THREAD_POOL_H_
+#define LSTORE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lstore {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` workers (0 = no worker threads; ParallelFor
+  /// then runs entirely on the calling thread).
+  explicit ThreadPool(uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Run fn(task) for every task in [0, num_tasks), using at most
+  /// `max_workers` concurrent executors (caller included; 0 = no cap).
+  /// Blocks until every task finished. Tasks are claimed dynamically
+  /// from a shared counter, so skewed task costs balance out.
+  void ParallelFor(uint64_t num_tasks, uint32_t max_workers,
+                   const std::function<void(uint64_t task)>& fn);
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Process-wide pool, lazily constructed with hardware_concurrency-1
+  /// workers (overridable via LSTORE_SCAN_THREADS).
+  static ThreadPool& Shared();
+
+ private:
+  struct Job {
+    std::function<void(uint64_t)> fn;
+    uint64_t num_tasks = 0;
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
+    std::atomic<uint32_t> executors{0};
+    uint32_t max_workers = 0;
+    std::mutex mu;
+    std::condition_variable cv;  // signalled when done == num_tasks
+  };
+
+  /// Claim and run tasks of `job` until none remain.
+  static void Execute(const std::shared_ptr<Job>& job);
+  /// Whether the job still has unclaimed tasks and executor headroom.
+  static bool Joinable(const Job& job);
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;  ///< jobs accepting executors
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_COMMON_THREAD_POOL_H_

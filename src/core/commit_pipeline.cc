@@ -1,0 +1,96 @@
+#include "core/commit_pipeline.h"
+
+#include <algorithm>
+
+#include "core/table.h"
+
+namespace lstore {
+
+namespace {
+
+/// Tables of `tables` that appear as an owner in the readset
+/// (`readers`) or writeset (`writers`). Owners outside `tables` are
+/// ignored: they belong to another engine sharing the manager and are
+/// committed by that engine's own pipeline invocation.
+void Participants(const Transaction& txn, const std::vector<Table*>& tables,
+                  std::vector<Table*>* readers, std::vector<Table*>* writers) {
+  auto add = [](std::vector<Table*>* v, Table* t) {
+    if (std::find(v->begin(), v->end(), t) == v->end()) v->push_back(t);
+  };
+  for (Table* t : tables) {
+    for (const WriteEntry& w : txn.writeset()) {
+      if (w.owner == t) {
+        add(writers, t);
+        add(readers, t);  // validation also covers own-write tables
+        break;
+      }
+    }
+  }
+  for (Table* t : tables) {
+    for (const ReadEntry& e : txn.readset()) {
+      if (e.owner == t) {
+        add(readers, t);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
+                          const std::vector<Table*>& tables) {
+  if (txn->finished()) return Status::InvalidArgument("already finished");
+  std::vector<Table*> readers, writers;
+  Participants(*txn, tables, &readers, &writers);
+
+  // 1. Acquire commit time and enter pre-commit (Section 5.1.1).
+  Timestamp commit_time = tm.EnterPreCommit(txn);
+
+  // 2. Validation (per isolation level) against every participant.
+  for (Table* t : readers) {
+    Status s = t->ValidateReads(txn, commit_time);
+    if (!s.ok()) {
+      t->stats().validation_aborts.fetch_add(1, std::memory_order_relaxed);
+      AbortAcrossTables(tm, txn, writers);
+      return s;
+    }
+  }
+
+  // 3. Commit record + group-commit flush in each participating log
+  // (Section 5.1.3). Read-only participants write nothing: their logs
+  // carry no records of this transaction to resolve at replay.
+  for (Table* t : writers) {
+    Status s = t->WriteCommitRecord(txn, commit_time);
+    if (!s.ok()) {
+      AbortAcrossTables(tm, txn, writers);
+      return s;
+    }
+  }
+
+  // 4. Publish: the state flip is the commit point for all tables.
+  tm.MarkCommitted(txn);
+
+  // 5. Post-commit: stamp Start Time slots so the manager entry can
+  // be retired (readers that raced see either the entry or the stamp).
+  for (Table* t : writers) t->StampWrites(txn, commit_time);
+  tm.Retire(txn->id());
+  txn->set_finished();
+  return Status::OK();
+}
+
+void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
+                       const std::vector<Table*>& tables) {
+  if (txn->finished()) return;
+  std::vector<Table*> readers, writers;
+  Participants(*txn, tables, &readers, &writers);
+  tm.MarkAborted(txn);
+  for (Table* t : writers) t->WriteAbortRecord(txn);
+  // Tombstone the writeset (Section 5.1.3: aborted tail records are
+  // only marked invalid; space is reclaimed by compression).
+  for (Table* t : writers) t->StampWrites(txn, kAbortedStamp);
+  tm.Retire(txn->id());
+  txn->set_finished();
+}
+
+}  // namespace lstore

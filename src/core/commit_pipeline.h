@@ -1,0 +1,42 @@
+// The single commit pipeline (Section 5.1.1 / 5.1.3).
+//
+// One code path serves single-table commits (Table::CommitTxn is a
+// thin wrapper passing {this}) and cross-table transactions
+// (Database::CommitTxn passes every registered table). The pipeline
+// filters the actual participants out of the transaction's read and
+// write sets, so a database-wide commit touches only the tables the
+// transaction used:
+//
+//   1. acquire the commit time, enter pre-commit,
+//   2. validate each read participant's share of the readset,
+//   3. append + flush a commit record to each write participant's log,
+//   4. flip the state in the shared manager — the atomic commit point,
+//   5. stamp Start Time slots and retire the manager entry.
+
+#ifndef LSTORE_CORE_COMMIT_PIPELINE_H_
+#define LSTORE_CORE_COMMIT_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "txn/transaction.h"
+
+namespace lstore {
+
+class Table;
+class TransactionManager;
+
+/// Commit `txn` across whichever of `tables` it actually read or
+/// wrote. The state flip in `tm` is the single atomic commit point
+/// for every participant.
+Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
+                          const std::vector<Table*>& tables);
+
+/// Abort `txn`: append abort records to write participants' logs and
+/// tombstone the writeset (Section 5.1.3 — no physical removal).
+void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
+                       const std::vector<Table*>& tables);
+
+}  // namespace lstore
+
+#endif  // LSTORE_CORE_COMMIT_PIPELINE_H_

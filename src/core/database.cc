@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "checkpoint/checkpoint_manager.h"
+#include "core/commit_pipeline.h"
 
 namespace lstore {
 
@@ -32,6 +33,8 @@ Status Database::CreateTableInternal(const std::string& name, Schema schema,
   tables_.push_back(Entry{
       name, std::make_unique<Table>(name, std::move(schema),
                                     std::move(config), &txn_manager_)});
+  // Sessions begun on this database are valid on the member table.
+  tables_.back().table->txn_scope_ = this;
   if (out != nullptr) *out = tables_.back().table.get();
   return Status::OK();
 }
@@ -225,54 +228,29 @@ Status Database::Checkpoint() {
 // Cross-table transactions
 // ---------------------------------------------------------------------------
 
-Transaction Database::Begin(IsolationLevel iso) {
-  return txn_manager_.Begin(iso);
+Txn Database::Begin(IsolationLevel iso) {
+  return Txn(this, txn_manager_.Begin(iso));
 }
 
-Status Database::Commit(Transaction* txn) {
-  if (txn->finished()) return Status::InvalidArgument("already finished");
-  // Snapshot the table list (tables are not dropped mid-transaction).
+Status Database::CommitTxn(Transaction* txn) {
+  // Snapshot the table list (tables are not dropped mid-transaction);
+  // the pipeline filters the actual participants from the read and
+  // write sets.
   std::vector<Table*> tables;
   {
     SpinGuard g(latch_);
     for (auto& e : tables_) tables.push_back(e.table.get());
   }
-  Timestamp commit_time = txn_manager_.EnterPreCommit(txn);
-  // Validate every table's share of the readset.
-  for (Table* t : tables) {
-    Status s = t->ValidateReads(txn, commit_time);
-    if (!s.ok()) {
-      Abort(txn);
-      return s;
-    }
-  }
-  // Commit records in every participating log.
-  for (Table* t : tables) {
-    Status s = t->WriteCommitRecord(txn, commit_time);
-    if (!s.ok()) {
-      Abort(txn);
-      return s;
-    }
-  }
-  // Single atomic commit point for all tables: the shared manager.
-  txn_manager_.MarkCommitted(txn);
-  for (Table* t : tables) t->StampWrites(txn, commit_time);
-  txn_manager_.Retire(txn->id());
-  txn->set_finished();
-  return Status::OK();
+  return CommitAcrossTables(txn_manager_, txn, tables);
 }
 
-void Database::Abort(Transaction* txn) {
-  if (txn->finished()) return;
+void Database::AbortTxn(Transaction* txn) {
   std::vector<Table*> tables;
   {
     SpinGuard g(latch_);
     for (auto& e : tables_) tables.push_back(e.table.get());
   }
-  txn_manager_.MarkAborted(txn);
-  for (Table* t : tables) t->StampWrites(txn, kAbortedStamp);
-  txn_manager_.Retire(txn->id());
-  txn->set_finished();
+  AbortAcrossTables(txn_manager_, txn, tables);
 }
 
 }  // namespace lstore

@@ -23,12 +23,13 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "core/table.h"
+#include "txn/txn.h"
 
 namespace lstore {
 
 class CheckpointManager;
 
-class Database {
+class Database : public TxnContext {
  public:
   /// In-memory database (no durability).
   Database();
@@ -81,23 +82,33 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
-  /// Begin a transaction valid across every table of this database.
-  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
-
-  /// Commit/abort a cross-table transaction. Every table the
-  /// transaction wrote participates: validation runs against each
-  /// table's data, and the state flip in the shared manager is the
-  /// single atomic commit point for all of them.
-  Status Commit(Transaction* txn);
-  void Abort(Transaction* txn);
+  /// Begin an RAII transaction session valid across every table of
+  /// this database: commit with txn.Commit(); a session destroyed
+  /// while active aborts automatically. The commit runs the same
+  /// pipeline as single-table sessions — validation against each
+  /// participating table, one commit record per written log, and the
+  /// state flip in the shared manager as the single atomic commit
+  /// point for all of them.
+  Txn Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
 
   TransactionManager& txn_manager() { return txn_manager_; }
 
-  /// Current timestamp for snapshot scans across tables.
+  /// A read snapshot covering every currently-committed transaction,
+  /// WITHOUT advancing the logical clock — the right timestamp for
+  /// read-only scans across tables (Query::AsOf).
+  Timestamp Now() const { return txn_manager_.SnapshotNow(); }
+
+  /// A ticking timestamp: advances the clock and returns a time newer
+  /// than every previous event. Prefer Now() for read-only scans.
   Timestamp ReadTimestamp() { return txn_manager_.clock().Tick(); }
 
  private:
   friend class CheckpointManager;
+
+  /// Cross-table commit/abort via the unified pipeline (sessions call
+  /// these through TxnContext).
+  Status CommitTxn(Transaction* txn) override;
+  void AbortTxn(Transaction* txn) override;
 
   /// Registered tables, in creation order (checkpoint + catalog use).
   std::vector<std::pair<std::string, Table*>> TableHandles() const;

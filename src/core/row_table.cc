@@ -134,11 +134,11 @@ RowTable::RowRange* RowTable::EnsureRange(uint64_t id) {
   return r;
 }
 
-Transaction RowTable::Begin(IsolationLevel iso) {
-  return txn_manager_->Begin(iso);
+Txn RowTable::Begin(IsolationLevel iso) {
+  return Txn(this, txn_manager_->Begin(iso));
 }
 
-Status RowTable::Commit(Transaction* txn) {
+Status RowTable::CommitTxn(Transaction* txn) {
   if (txn->finished()) return Status::InvalidArgument("finished");
   Timestamp commit_time = txn_manager_->EnterPreCommit(txn);
   txn_manager_->MarkCommitted(txn);
@@ -156,7 +156,7 @@ Status RowTable::Commit(Transaction* txn) {
   return Status::OK();
 }
 
-void RowTable::Abort(Transaction* txn) {
+void RowTable::AbortTxn(Transaction* txn) {
   if (txn->finished()) return;
   txn_manager_->MarkAborted(txn);
   for (const WriteEntry& w : txn->writeset()) {

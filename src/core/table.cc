@@ -8,8 +8,10 @@
 #include <unordered_set>
 
 #include "common/bitutil.h"
+#include "core/commit_pipeline.h"
 #include "core/historic.h"
 #include "core/merge.h"
+#include "core/query.h"
 
 namespace lstore {
 
@@ -521,9 +523,11 @@ Status Table::ResolveRecordOnce(Range& r, uint32_t slot, const ReadSpec& spec,
 // Transactions
 // ---------------------------------------------------------------------------
 
-Transaction Table::Begin(IsolationLevel iso) {
-  return txn_manager_->Begin(iso);
+Txn Table::Begin(IsolationLevel iso) {
+  return Txn(this, txn_manager_->Begin(iso));
 }
+
+Timestamp Table::Now() const { return txn_manager_->SnapshotNow(); }
 
 Status Table::ValidateReads(Transaction* txn, Timestamp commit_time) {
   bool validate_all = txn->isolation() == IsolationLevel::kSerializable;
@@ -618,51 +622,29 @@ void Table::StampWrites(Transaction* txn, Value outcome) {
   }
 }
 
-Status Table::Commit(Transaction* txn) {
-  if (txn->finished()) return Status::InvalidArgument("already finished");
-  // Acquire commit time and enter pre-commit (Section 5.1.1).
-  Timestamp commit_time = txn_manager_->EnterPreCommit(txn);
-
-  Status validation = ValidateReads(txn, commit_time);
-  if (!validation.ok()) {
-    stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
-    Abort(txn);
-    return validation;
-  }
-
-  // Commit record + group-commit flush (Section 5.1.3).
-  Status ls = WriteCommitRecord(txn, commit_time);
-  if (!ls.ok()) {
-    Abort(txn);
-    return ls;
-  }
-
-  // Publish: the state flip is the commit point.
-  txn_manager_->MarkCommitted(txn);
-
-  // Post-commit: stamp Start Time slots so the manager entry can be
-  // retired (keeps the hashtable bounded; readers that raced see
-  // either the entry or the stamped slot).
-  StampWrites(txn, commit_time);
-  txn_manager_->Retire(txn->id());
-  txn->set_finished();
-  return Status::OK();
+Status Table::CommitTxn(Transaction* txn) {
+  return CommitAcrossTables(*txn_manager_, txn, {this});
 }
 
-void Table::Abort(Transaction* txn) {
-  if (txn->finished()) return;
-  txn_manager_->MarkAborted(txn);
-  if (log_ != nullptr) {
-    LogRecord rec;
-    rec.type = LogRecordType::kAbort;
-    rec.txn_id = txn->id();
-    log_->Append(rec);
-  }
-  // Tombstone the writeset (Section 5.1.3: aborted tail records are
-  // only marked invalid; space is reclaimed by compression).
-  StampWrites(txn, kAbortedStamp);
-  txn_manager_->Retire(txn->id());
-  txn->set_finished();
+void Table::AbortTxn(Transaction* txn) {
+  AbortAcrossTables(*txn_manager_, txn, {this});
+}
+
+void Table::WriteAbortRecord(Transaction* txn) {
+  if (log_ == nullptr) return;
+  LogRecord rec;
+  rec.type = LogRecordType::kAbort;
+  rec.txn_id = txn->id();
+  log_->Append(rec);
+  // Flush with the same durability discipline as commit records: an
+  // abort can follow an already-flushed commit record of the same
+  // transaction (pipeline step 3 failed on a later table), and replay
+  // treats the later abort as authoritative — so it must not be the
+  // one record that sits in the buffer when the process dies. (A
+  // crash inside this window still splits the transaction; closing it
+  // entirely needs the single cross-table commit point tracked in
+  // ROADMAP.)
+  (void)log_->Flush(config_.sync_commit);
 }
 
 // ---------------------------------------------------------------------------
@@ -670,10 +652,15 @@ void Table::Abort(Transaction* txn) {
 // ---------------------------------------------------------------------------
 
 Status Table::Insert(Transaction* txn, const std::vector<Value>& row) {
+  EpochGuard guard(epochs_);
+  return InsertImpl(txn, row, nullptr);
+}
+
+Status Table::InsertImpl(Transaction* txn, const std::vector<Value>& row,
+                         RedoLog::Batch* log_sink) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
   }
-  EpochGuard guard(epochs_);
   uint64_t rid = next_row_.fetch_add(1, std::memory_order_relaxed);
   Range* r = EnsureRange(RangeOf(rid));
   uint32_t slot = SlotOf(rid);
@@ -711,7 +698,11 @@ Status Table::Insert(Transaction* txn, const std::vector<Value>& row) {
     rec.start_raw = txn->id();
     rec.mask = schema_.AllColumns();
     rec.values = row;
-    log_->Append(rec);
+    if (log_sink != nullptr) {
+      log_sink->Add(rec);
+    } else {
+      log_->Append(rec);
+    }
   }
 
   {
@@ -740,11 +731,15 @@ Status Table::Update(Transaction* txn, Value key, ColumnMask mask,
   if ((mask & ~schema_.AllColumns()) != 0) {
     return Status::InvalidArgument("mask has unknown columns");
   }
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
   Rid rid = primary_.Get(key);
   if (rid == kInvalidRid) return Status::NotFound("no such key");
   Range* r = GetRange(RangeOf(rid));
   if (r == nullptr) return Status::NotFound("no such range");
-  return WriteTailVersion(txn, *r, SlotOf(rid), mask, row, false);
+  EpochGuard guard(epochs_);
+  return WriteTailVersion(txn, *r, SlotOf(rid), mask, row, false, nullptr);
 }
 
 Status Table::Delete(Transaction* txn, Value key) {
@@ -753,15 +748,15 @@ Status Table::Delete(Transaction* txn, Value key) {
   Range* r = GetRange(RangeOf(rid));
   if (r == nullptr) return Status::NotFound("no such range");
   static const std::vector<Value> kEmpty;
-  Status s = WriteTailVersion(txn, *r, SlotOf(rid), 0, kEmpty, true);
+  EpochGuard guard(epochs_);
+  Status s = WriteTailVersion(txn, *r, SlotOf(rid), 0, kEmpty, true, nullptr);
   if (s.ok()) stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   return s;
 }
 
 Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
                                ColumnMask mask, const std::vector<Value>& row,
-                               bool is_delete) {
-  EpochGuard guard(epochs_);
+                               bool is_delete, RedoLog::Batch* log_sink) {
   auto& ind = r.indirection[slot];
 
   // Step 1 of write-write conflict detection: CAS the latch bit
@@ -936,9 +931,9 @@ Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
 
   if (log_ != nullptr) {
     if (snap_seq != 0) {
-      LogTailAppend(r, snap_seq, false, base_start, txn->id());
+      LogTailAppend(r, snap_seq, false, base_start, txn->id(), log_sink);
     }
-    LogTailAppend(r, new_seq, false, txn->id(), txn->id());
+    LogTailAppend(r, new_seq, false, txn->id(), txn->id(), log_sink);
   }
 
   if (mask != 0) {
@@ -969,7 +964,8 @@ Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
 }
 
 void Table::LogTailAppend(const Range& r, uint32_t seq, bool insert,
-                          Value start_raw, TxnId txn_id) {
+                          Value start_raw, TxnId txn_id,
+                          RedoLog::Batch* log_sink) {
   const TailSegment& seg = insert ? r.inserts : r.updates;
   LogRecord rec;
   rec.type =
@@ -987,7 +983,11 @@ void Table::LogTailAppend(const Range& r, uint32_t seq, bool insert,
     rec.values.push_back(
         seg.Read(seq, kTailMetaColumns + static_cast<uint32_t>(*it)));
   }
-  log_->Append(rec);
+  if (log_sink != nullptr) {
+    log_sink->Add(rec);
+  } else {
+    log_->Append(rec);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1050,144 +1050,113 @@ Status Table::ReadAsOf(Value key, Timestamp as_of, ColumnMask mask,
 }
 
 // ---------------------------------------------------------------------------
-// Scans
+// Batched point operations
 // ---------------------------------------------------------------------------
 
-Status Table::SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum,
-                        uint64_t* visible_rows) const {
-  LSTORE_RETURN_IF_ERROR(SumColumnRange(col, as_of, 0, num_rows(), sum));
-  if (visible_rows != nullptr) {
-    uint64_t rows = 0;
-    LSTORE_RETURN_IF_ERROR(
-        ScanColumn(col, as_of, [&rows](Value, Value) { ++rows; }));
-    *visible_rows = rows;
-  }
-  return Status::OK();
-}
-
-Status Table::ScanColumn(ColumnId col, Timestamp as_of,
-                         const std::function<void(Value, Value)>& fn) const {
-  if (col >= schema_.num_columns()) {
-    return Status::InvalidArgument("bad column");
-  }
+Status Table::MultiRead(Txn& txn, const std::vector<Value>& keys,
+                        ColumnMask mask, std::vector<std::vector<Value>>* rows,
+                        std::vector<Status>* statuses) {
+  LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+  Transaction* t = txn.raw();
+  rows->assign(keys.size(), {});
+  if (statuses != nullptr) statuses->assign(keys.size(), Status::OK());
+  // One sharded probe pass for the whole batch.
+  std::vector<Rid> rids(keys.size());
+  primary_.MultiGet(keys.data(), keys.size(), rids.data());
   EpochGuard guard(epochs_);
-  std::vector<Value> tmp(schema_.num_columns(), kNull);
-  ColumnMask mask = 1ull << col;
-  uint64_t nranges = num_ranges();
-  for (uint64_t rid = 0; rid < nranges; ++rid) {
-    Range* r = GetRange(rid);
-    if (r == nullptr) continue;
-    uint32_t occ = r->occupied.load(std::memory_order_acquire);
-    for (uint32_t slot = 0; slot < occ; ++slot) {
-      ReadSpec spec{as_of, nullptr, false};
-      std::fill(tmp.begin(), tmp.end(), kNull);
-      Status s = ResolveRecord(*r, slot, spec, mask | 1ull, &tmp, nullptr);
-      if (s.ok()) fn(tmp[0], tmp[col]);
-    }
-  }
-  return Status::OK();
-}
-
-Status Table::SumColumnRange(ColumnId col, Timestamp as_of,
-                             uint64_t first_row, uint64_t row_count,
-                             uint64_t* sum) const {
-  if (col >= schema_.num_columns()) {
-    return Status::InvalidArgument("bad column");
-  }
-  EpochGuard guard(epochs_);
-  uint64_t acc = 0;
-  std::vector<Value> tmp(schema_.num_columns(), kNull);
-  ColumnMask mask = 1ull << col;
-  uint64_t end_row = first_row + row_count;
-  uint64_t total = num_rows();
-  if (end_row > total) end_row = total;
-
-  for (uint64_t row = first_row; row < end_row;) {
-    Range* r = GetRange(row / config_.range_size);
-    uint64_t range_first = (row / config_.range_size) * config_.range_size;
-    uint64_t range_end = range_first + config_.range_size;
-    if (range_end > end_row) range_end = end_row;
-    if (r == nullptr) {
-      row = range_end;
-      continue;
-    }
-    uint32_t occ = r->occupied.load(std::memory_order_acquire);
-    uint64_t slot_end = range_end - range_first;
-    if (slot_end > occ) slot_end = occ;
-
-    BaseSegment* seg = Segment(*r, col);
-    BaseSegment* seg_lut =
-        r->base[schema_.num_columns() + kBaseLastUpdated].load(
-            std::memory_order_acquire);
-    BaseSegment* seg_enc =
-        r->base[schema_.num_columns() + kBaseSchemaEnc].load(
-            std::memory_order_acquire);
-    BaseSegment* seg_start =
-        r->base[schema_.num_columns() + kBaseStartTime].load(
-            std::memory_order_acquire);
-    // Lemma 3: a concurrent merge may have swapped some of these
-    // pointers but not others; mixed merge generations are detectable
-    // by comparing the in-page lineage. Repair per Theorem 2 by
-    // falling back to the chain walk (disable the fast path).
-    if (seg != nullptr &&
-        (seg_lut == nullptr || seg_enc == nullptr || seg_start == nullptr ||
-         seg_lut->tps != seg->tps || seg_enc->tps != seg->tps)) {
-      seg = nullptr;
-    }
-
-    for (uint32_t slot = static_cast<uint32_t>(row - range_first);
-         slot < slot_end; ++slot) {
-      // Fast path: the merged base segment already covers the chain
-      // head and the merge horizon is visible at as_of.
-      if (seg != nullptr && slot < seg->num_slots && seg_lut != nullptr &&
-          seg_enc != nullptr && seg_start != nullptr) {
-        uint64_t ivr = r->indirection[slot].load(std::memory_order_acquire);
-        uint32_t seq = IndirSeq(ivr);
-        if (seq <= seg->tps) {
-          Value lut = seg_lut->data->Get(slot);
-          Value start = seg_start->data->Get(slot);
-          bool horizon_ok =
-              as_of == kMaxTimestamp || (lut != kNull && lut < as_of);
-          if (horizon_ok && start != kNull && start < as_of) {
-            Value enc = seg_enc->data->Get(slot);
-            Value fast_val = IsDeleteRecord(enc) ? kNull : seg->data->Get(slot);
-            static const bool kVerifyScans =
-                getenv("LSTORE_SCAN_VERIFY") != nullptr;
-            if (kVerifyScans) {
-              ReadSpec vspec{as_of, nullptr, false};
-              std::vector<Value> vtmp(schema_.num_columns(), kNull);
-              Status vs = ResolveRecord(*r, slot, vspec, mask, &vtmp, nullptr);
-              Value slow_val = vs.ok() ? vtmp[col] : kNull;
-              if (slow_val != fast_val) {
-                std::fprintf(stderr,
-                             "FASTPATH DIVERGE slot=%u fast=%llu slow=%llu "
-                             "seq=%u tps=%u lut=%llu start=%llu as_of=%llu "
-                             "enc=%llx\n",
-                             slot, (unsigned long long)fast_val,
-                             (unsigned long long)slow_val, seq, seg->tps,
-                             (unsigned long long)lut,
-                             (unsigned long long)start,
-                             (unsigned long long)as_of,
-                             (unsigned long long)enc);
-              }
-            }
-            if (fast_val != kNull) acc += fast_val;
-            continue;
-          }
-          if (start == kNull) continue;  // aborted insert slot
-        }
+  Timestamp as_of = t->isolation() == IsolationLevel::kReadCommitted
+                        ? kMaxTimestamp
+                        : t->begin_time();
+  Status first = Status::OK();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Status s;
+    if (rids[i] == kInvalidRid) {
+      s = Status::NotFound("no such key");
+    } else {
+      Range* r = GetRange(RangeOf(rids[i]));
+      if (r == nullptr) {
+        s = Status::NotFound("no such range");
+      } else {
+        std::vector<Value>& out = (*rows)[i];
+        out.assign(schema_.num_columns(), kNull);
+        ReadSpec spec{as_of, t, /*speculative=*/false};
+        uint32_t observed = 0;
+        uint32_t slot = SlotOf(rids[i]);
+        s = ResolveRecord(*r, slot, spec, mask, &out, &observed);
+        t->readset().push_back(
+            ReadEntry{r->id, slot, observed, /*speculative=*/false, 0, this});
+        if (!s.ok()) out.clear();
       }
-      // Slow path: resolve through the lineage chain.
-      ReadSpec spec{as_of, nullptr, false};
-      tmp[col] = kNull;
-      Status s = ResolveRecord(*r, slot, spec, mask, &tmp, nullptr);
-      if (s.ok() && tmp[col] != kNull) acc += tmp[col];
     }
-    row = range_end;
+    if (!s.ok() && first.ok()) first = s;
+    if (statuses != nullptr) (*statuses)[i] = s;
   }
-  *sum = acc;
-  return Status::OK();
+  stats_.reads.fetch_add(keys.size(), std::memory_order_relaxed);
+  return first;
 }
+
+Status Table::InsertBatch(Txn& txn, const std::vector<std::vector<Value>>& rows) {
+  LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+  Transaction* t = txn.raw();
+  RedoLog::Batch recs;
+  RedoLog::Batch* sink = log_ != nullptr ? &recs : nullptr;
+  EpochGuard guard(epochs_);
+  Status s = Status::OK();
+  for (const std::vector<Value>& row : rows) {
+    s = InsertImpl(t, row, sink);
+    if (!s.ok()) break;
+  }
+  // ONE frame for the whole batch; the publish-before-log invariant
+  // holds because every Start Time was published above.
+  if (sink != nullptr && !recs.empty()) log_->AppendBatch(recs);
+  return s;
+}
+
+Status Table::UpdateBatch(Txn& txn, const std::vector<Value>& keys,
+                          ColumnMask mask,
+                          const std::vector<std::vector<Value>>& rows) {
+  if (keys.size() != rows.size()) {
+    return Status::InvalidArgument("keys/rows arity mismatch");
+  }
+  if (mask == 0 || (mask & 1ull) != 0) {
+    return Status::InvalidArgument("cannot update key column / empty mask");
+  }
+  if ((mask & ~schema_.AllColumns()) != 0) {
+    return Status::InvalidArgument("mask has unknown columns");
+  }
+  for (const std::vector<Value>& row : rows) {
+    if (row.size() != schema_.num_columns()) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+  }
+  LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+  Transaction* t = txn.raw();
+  std::vector<Rid> rids(keys.size());
+  primary_.MultiGet(keys.data(), keys.size(), rids.data());
+  RedoLog::Batch recs;
+  RedoLog::Batch* sink = log_ != nullptr ? &recs : nullptr;
+  EpochGuard guard(epochs_);
+  Status s = Status::OK();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (rids[i] == kInvalidRid) {
+      s = Status::NotFound("no such key");
+      break;
+    }
+    Range* r = GetRange(RangeOf(rids[i]));
+    if (r == nullptr) {
+      s = Status::NotFound("no such range");
+      break;
+    }
+    s = WriteTailVersion(t, *r, SlotOf(rids[i]), mask, rows[i], false, sink);
+    if (!s.ok()) break;
+  }
+  if (sink != nullptr && !recs.empty()) log_->AppendBatch(recs);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Scans live in core/query.cc (Query is the sole scan surface).
+// ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------
 // Secondary indexes
@@ -1196,43 +1165,16 @@ Status Table::SumColumnRange(ColumnId col, Timestamp as_of,
 void Table::CreateSecondaryIndex(ColumnId col) {
   auto index = std::make_unique<SecondaryIndex>();
   // Backfill from current visible data.
-  ScanColumn(col, kMaxTimestamp, [&](Value key, Value v) {
-    Rid rid = primary_.Get(key);
-    if (rid != kInvalidRid) index->Add(v, rid);
-  });
+  NewQuery()
+      .Project((1ull << col) | 1ull)
+      .AsOf(kMaxTimestamp)
+      .Workers(1)
+      .Visit([&](Value key, const std::vector<Value>& row) {
+        Rid rid = primary_.Get(key);
+        if (rid != kInvalidRid) index->Add(row[col], rid);
+      });
   SpinGuard sg(secondary_latch_);
   secondaries_.push_back(SecondaryEntry{col, std::move(index)});
-}
-
-std::vector<Value> Table::SelectKeysWhere(ColumnId col, Value v,
-                                          Timestamp as_of) const {
-  std::vector<Rid> candidates;
-  {
-    SpinGuard sg(secondary_latch_);
-    for (const auto& s : secondaries_) {
-      if (s.col == col) {
-        candidates = s.index->Lookup(v);
-        break;
-      }
-    }
-  }
-  std::vector<Value> keys;
-  EpochGuard guard(epochs_);
-  std::vector<Value> tmp(schema_.num_columns(), kNull);
-  for (Rid rid : candidates) {
-    Range* r = GetRange(RangeOf(rid));
-    if (r == nullptr) continue;
-    ReadSpec spec{as_of, nullptr, false};
-    std::fill(tmp.begin(), tmp.end(), kNull);
-    // Re-evaluate the predicate on the visible version (Section 3.1).
-    Status s =
-        ResolveRecord(*r, SlotOf(rid), spec, (1ull << col) | 1ull, &tmp,
-                      nullptr);
-    if (s.ok() && tmp[col] == v) keys.push_back(tmp[0]);
-  }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
 }
 
 // ---------------------------------------------------------------------------

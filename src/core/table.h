@@ -37,11 +37,19 @@
 #include "storage/tail_segment.h"
 #include "txn/transaction.h"
 #include "txn/transaction_manager.h"
+#include "txn/txn.h"
 
 namespace lstore {
 
 class MergeManager;
 class HistoricStore;
+class Query;
+class Table;
+
+Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
+                          const std::vector<Table*>& tables);
+void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
+                       const std::vector<Table*>& tables);
 
 /// Read-optimized form of one physical column of one update range,
 /// carrying its in-page lineage (Section 4.2).
@@ -80,7 +88,7 @@ struct TableStats {
   std::atomic<uint64_t> tail_chain_hops{0};    ///< reads that left base pages
 };
 
-class Table {
+class Table : public TxnContext {
  public:
   Table(std::string name, Schema schema, TableConfig config,
         TransactionManager* txn_manager = nullptr);
@@ -94,81 +102,94 @@ class Table {
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
-  // --- transactions --------------------------------------------------------
+  // --- sessions ------------------------------------------------------------
 
-  Transaction Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
+  /// Begin an RAII transaction session bound to this table: commit
+  /// with txn.Commit(); a session destroyed while active aborts
+  /// automatically (Section 5.1.1).
+  Txn Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
 
-  /// Validate reads (per isolation level), write the commit log
-  /// record, and atomically publish the transaction (Section 5.1.1).
-  Status Commit(Transaction* txn);
-
-  /// Roll back: stamp this transaction's tail records as aborted
-  /// tombstones (no physical removal, Section 5.1.3).
-  void Abort(Transaction* txn);
-
-  // Commit protocol phases, exposed so Database can orchestrate
-  // transactions spanning multiple tables that share a manager.
-
-  /// Validate this table's share of the readset at `commit_time`.
-  Status ValidateReads(Transaction* txn, Timestamp commit_time);
-  /// Append + flush the commit record to this table's redo log.
-  Status WriteCommitRecord(Transaction* txn, Timestamp commit_time);
-  /// Stamp this table's writes with the outcome (commit time or
-  /// kAbortedStamp); rolls back inserted index keys on abort.
-  void StampWrites(Transaction* txn, Value outcome);
+  /// A read snapshot covering every currently-committed transaction,
+  /// WITHOUT advancing the logical clock — scans are not events in
+  /// the commit order, so they must not inflate it.
+  Timestamp Now() const;
 
   // --- fine-grained manipulation (Section 3) -------------------------------
+  // Every session operation rejects a finished (committed/aborted)
+  // Txn up front: a retired transaction id would publish permanently
+  // invisible versions and leak index entries.
 
   /// Insert a full row; row[0] is the primary key.
-  Status Insert(Transaction* txn, const std::vector<Value>& row);
+  Status Insert(Txn& txn, const std::vector<Value>& row) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Insert(txn.raw(), row);
+  }
 
   /// Update the columns in `mask` to `row[col]` for each set bit.
   /// Column 0 (the key) must not be updated.
-  Status Update(Transaction* txn, Value key, ColumnMask mask,
-                const std::vector<Value>& row);
+  Status Update(Txn& txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Update(txn.raw(), key, mask, row);
+  }
 
   /// Delete = update writing the delete tombstone (Section 3.1).
-  Status Delete(Transaction* txn, Value key);
+  Status Delete(Txn& txn, Value key) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Delete(txn.raw(), key);
+  }
 
   /// Read the columns in `mask` of the visible version into
   /// out[col] (out is resized to num_columns; unrequested cols = ∅).
-  Status Read(Transaction* txn, Value key, ColumnMask mask,
-              std::vector<Value>* out);
+  Status Read(Txn& txn, Value key, ColumnMask mask, std::vector<Value>* out) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return Read(txn.raw(), key, mask, out);
+  }
 
   /// Speculative read ([18]): also sees pre-commit versions and adds
   /// a commit dependency.
-  Status SpeculativeRead(Transaction* txn, Value key, ColumnMask mask,
-                         std::vector<Value>* out);
+  Status SpeculativeRead(Txn& txn, Value key, ColumnMask mask,
+                         std::vector<Value>* out) {
+    LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+    return SpeculativeRead(txn.raw(), key, mask, out);
+  }
 
   /// Time-travel point read at a historical timestamp (no txn).
   Status ReadAsOf(Value key, Timestamp as_of, ColumnMask mask,
                   std::vector<Value>* out);
 
+  // --- batched point operations --------------------------------------------
+  // Amortize index probes (one sharded MultiGet), epoch entry, latch
+  // traffic, and redo logging (ONE log frame per batch) over many keys.
+
+  /// Read `mask` of every key; rows->at(i) holds the columns of
+  /// keys[i] (missing/invisible keys leave the row empty). Returns
+  /// the first per-key error if any (reads continue past misses);
+  /// statuses (optional) receives each key's individual outcome.
+  Status MultiRead(Txn& txn, const std::vector<Value>& keys, ColumnMask mask,
+                   std::vector<std::vector<Value>>* rows,
+                   std::vector<Status>* statuses = nullptr);
+
+  /// Insert many full rows with one redo-log frame. Stops at the
+  /// first failing row (already-inserted rows stay in the session's
+  /// writeset and commit/abort with it).
+  Status InsertBatch(Txn& txn, const std::vector<std::vector<Value>>& rows);
+
+  /// Update `mask` of keys[i] to rows[i] with one redo-log frame.
+  /// Stops at the first failing key.
+  Status UpdateBatch(Txn& txn, const std::vector<Value>& keys, ColumnMask mask,
+                     const std::vector<std::vector<Value>>& rows);
+
   // --- analytics ------------------------------------------------------------
 
-  /// Snapshot SUM over one column (Section 6.2 scan workload):
-  /// sums the column over every record visible at `as_of`.
-  Status SumColumn(ColumnId col, Timestamp as_of, uint64_t* sum,
-                   uint64_t* visible_rows) const;
-
-  /// Snapshot scan delivering (key, value) pairs of `col`.
-  Status ScanColumn(ColumnId col, Timestamp as_of,
-                    const std::function<void(Value key, Value v)>& fn) const;
-
-  /// Scan a contiguous fraction of the table (the "10% of the data"
-  /// analytical queries of Section 6.1): rows [first_row, first_row +
-  /// row_count) in base-RID order.
-  Status SumColumnRange(ColumnId col, Timestamp as_of, uint64_t first_row,
-                        uint64_t row_count, uint64_t* sum) const;
+  /// Composable snapshot query (core/query.h): projection, row range,
+  /// predicates, time travel, parallel partitioned execution. The sole
+  /// scan surface — Sum/Count/Visit/Keys terminals.
+  Query NewQuery() const;
 
   // --- secondary indexes (Section 3.1) --------------------------------------
 
   void CreateSecondaryIndex(ColumnId col);
-
-  /// Keys whose visible version has `col == v` (index candidates are
-  /// re-checked against the snapshot, as the paper prescribes).
-  std::vector<Value> SelectKeysWhere(ColumnId col, Value v,
-                                     Timestamp as_of) const;
 
   // --- maintenance -----------------------------------------------------------
 
@@ -242,6 +263,59 @@ class Table {
   friend class MergeManager;
   friend class CheckpointIO;       ///< capture/restore (checkpoint/serde.cc)
   friend class CheckpointManager;  ///< log watermarks + truncation
+  friend class Query;              ///< scan executor (core/query.cc)
+  friend class Database;           ///< cross-table sessions share the ops
+  friend Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
+                                   const std::vector<Table*>& tables);
+  friend void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
+                                const std::vector<Table*>& tables);
+
+  // --- session plumbing (TxnContext) ---------------------------------------
+
+  /// Reject finished sessions and sessions begun on a different
+  /// engine: a foreign-host Txn would bypass this table in the commit
+  /// pipeline, leaving its writes unstamped forever. Sessions begun
+  /// on the owning Database are valid on every member table.
+  Status CheckActive(const Txn& txn) const {
+    if (!txn.active()) {
+      return Status::InvalidArgument("transaction finished");
+    }
+    const TxnContext* h = txn.host();
+    if (h != static_cast<const TxnContext*>(this) && h != txn_scope_) {
+      return Status::InvalidArgument("transaction bound to another engine");
+    }
+    return Status::OK();
+  }
+
+  /// Single-table commit: a thin wrapper over the unified pipeline
+  /// (core/commit_pipeline.cc) with {this} as the only candidate.
+  Status CommitTxn(Transaction* txn) override;
+  void AbortTxn(Transaction* txn) override;
+
+  // Commit protocol phases, invoked by the pipeline.
+
+  /// Validate this table's share of the readset at `commit_time`.
+  Status ValidateReads(Transaction* txn, Timestamp commit_time);
+  /// Append + flush the commit record to this table's redo log.
+  Status WriteCommitRecord(Transaction* txn, Timestamp commit_time);
+  /// Append + flush an abort record. The flush matters: an abort can
+  /// follow an already-flushed commit record of the same transaction
+  /// (pipeline failure on a later table), and replay treats the later
+  /// abort as authoritative.
+  void WriteAbortRecord(Transaction* txn);
+  /// Stamp this table's writes with the outcome (commit time or
+  /// kAbortedStamp); rolls back inserted index keys on abort.
+  void StampWrites(Transaction* txn, Value outcome);
+
+  // Transaction-pointer cores of the public session operations.
+  Status Insert(Transaction* txn, const std::vector<Value>& row);
+  Status Update(Transaction* txn, Value key, ColumnMask mask,
+                const std::vector<Value>& row);
+  Status Delete(Transaction* txn, Value key);
+  Status Read(Transaction* txn, Value key, ColumnMask mask,
+              std::vector<Value>* out);
+  Status SpeculativeRead(Transaction* txn, Value key, ColumnMask mask,
+                         std::vector<Value>* out);
 
   struct Range {
     uint64_t id = 0;
@@ -325,12 +399,18 @@ class Table {
   }
 
   // Write machinery ----------------------------------------------------------
+  // `log_sink` != nullptr collects redo records instead of appending
+  // them — the batch operations emit ONE log frame per batch. Callers
+  // of the *Impl forms hold the epoch pin.
 
+  Status InsertImpl(Transaction* txn, const std::vector<Value>& row,
+                    RedoLog::Batch* log_sink);
   Status WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
                           ColumnMask mask, const std::vector<Value>& row,
-                          bool is_delete);
+                          bool is_delete, RedoLog::Batch* log_sink);
   void LogTailAppend(const Range& r, uint32_t seq, bool insert,
-                     Value start_raw, TxnId txn_id);
+                     Value start_raw, TxnId txn_id,
+                     RedoLog::Batch* log_sink);
   void MaybeScheduleMerge(Range& r);
 
   // Merge machinery (called by MergeManager and *_Now) -----------------------
@@ -353,6 +433,10 @@ class Table {
   std::string name_;
   Schema schema_;
   TableConfig config_;
+
+  /// The enclosing engine whose sessions are also valid here (the
+  /// owning Database); set at registration, null for standalone tables.
+  TxnContext* txn_scope_ = nullptr;
 
   std::unique_ptr<TransactionManager> owned_txn_manager_;
   TransactionManager* txn_manager_;

@@ -1,5 +1,7 @@
 #include "index/primary_index.h"
 
+#include <algorithm>
+
 namespace lstore {
 
 PrimaryIndex::PrimaryIndex(size_t num_shards) : shards_(num_shards) {}
@@ -15,6 +17,40 @@ Rid PrimaryIndex::Get(Value key) const {
   SpinGuard g(s.latch);
   auto it = s.map.find(key);
   return it == s.map.end() ? kInvalidRid : it->second;
+}
+
+void PrimaryIndex::MultiGet(const Value* keys, size_t n, Rid* out) const {
+  // Bucket probe positions by shard, then visit each touched shard
+  // once (one latch acquisition per shard per batch). The scratch
+  // arrays live on the stack for typical batches, on the heap beyond.
+  constexpr size_t kStackBatch = 256;
+  uint32_t order_stack[kStackBatch];
+  uint32_t shard_stack[kStackBatch];
+  std::vector<uint32_t> order_heap, shard_heap;
+  uint32_t* order = order_stack;
+  uint32_t* shard_of = shard_stack;
+  if (n > kStackBatch) {
+    order_heap.resize(n);
+    shard_heap.resize(n);
+    order = order_heap.data();
+    shard_of = shard_heap.data();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+    shard_of[i] = static_cast<uint32_t>(ShardOf(keys[i]));
+  }
+  std::sort(order, order + n,
+            [&](uint32_t a, uint32_t b) { return shard_of[a] < shard_of[b]; });
+  size_t i = 0;
+  while (i < n) {
+    uint32_t shard = shard_of[order[i]];
+    const Shard& s = shards_[shard];
+    SpinGuard g(s.latch);
+    for (; i < n && shard_of[order[i]] == shard; ++i) {
+      auto it = s.map.find(keys[order[i]]);
+      out[order[i]] = it == s.map.end() ? kInvalidRid : it->second;
+    }
+  }
 }
 
 bool PrimaryIndex::Erase(Value key) {

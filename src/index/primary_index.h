@@ -28,6 +28,11 @@ class PrimaryIndex {
   /// Point lookup. Returns kInvalidRid if absent.
   Rid Get(Value key) const;
 
+  /// Batched lookup: out[i] = RID of keys[i] (kInvalidRid if absent).
+  /// Groups probes by shard so each shard latch is taken once per
+  /// batch instead of once per key (the MultiRead hot-path win).
+  void MultiGet(const Value* keys, size_t n, Rid* out) const;
+
   /// Remove the key (used when an insert aborts or after a delete
   /// falls out of every snapshot).
   bool Erase(Value key);

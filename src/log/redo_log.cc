@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 
 #include "common/bitutil.h"
@@ -99,7 +101,8 @@ void RedoLog::EncodePayload(const LogRecord& rec, std::string* out) {
       for (Value v : rec.values) PutVarint64(out, v);
       break;
     case LogRecordType::kTruncationPoint:
-      break;  // handled above
+    case LogRecordType::kBatch:
+      break;  // truncation handled above; batches framed by AppendBatch
   }
 }
 
@@ -166,8 +169,34 @@ uint64_t RedoLog::Append(const LogRecord& rec) {
   return last_lsn_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
-Status RedoLog::Flush(bool sync) {
+void RedoLog::Batch::Add(const LogRecord& rec) {
+  scratch_.clear();
+  EncodePayload(rec, &scratch_);
+  PutVarint64(&body_, scratch_.size());
+  body_.append(scratch_);
+  ++count_;
+}
+
+uint64_t RedoLog::AppendBatch(const Batch& batch) {
+  if (batch.count_ == 0) return 0;
+  std::string payload;
+  payload.reserve(batch.body_.size() + 10);
+  payload.push_back(static_cast<char>(LogRecordType::kBatch));
+  PutVarint64(&payload, batch.count_);
+  payload.append(batch.body_);
   std::lock_guard<std::mutex> g(mu_);
+  AppendFrame(&buffer_, payload);
+  return last_lsn_.fetch_add(batch.count_, std::memory_order_acq_rel) +
+         batch.count_;
+}
+
+uint64_t RedoLog::AppendBatch(const std::vector<LogRecord>& recs) {
+  Batch batch;
+  for (const LogRecord& rec : recs) batch.Add(rec);
+  return AppendBatch(batch);
+}
+
+Status RedoLog::FlushBufferLocked() {
   if (file_ == nullptr) return Status::IOError("log not open");
   if (!buffer_.empty()) {
     size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
@@ -175,6 +204,12 @@ Status RedoLog::Flush(bool sync) {
     buffer_.clear();
   }
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+Status RedoLog::Flush(bool sync) {
+  std::lock_guard<std::mutex> g(mu_);
+  LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
   if (sync) {
     if (::fsync(::fileno(file_)) != 0) {
       return Status::IOError("fsync failed");
@@ -184,50 +219,114 @@ Status RedoLog::Flush(bool sync) {
 }
 
 Status RedoLog::TruncateTo(uint64_t watermark_lsn) {
-  std::lock_guard<std::mutex> g(mu_);
-  if (file_ == nullptr) return Status::IOError("log not open");
-  // Push pending appends into the file first so the scan sees them.
-  if (!buffer_.empty()) {
-    size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-    if (n != buffer_.size()) return Status::IOError("short log write");
-    buffer_.clear();
-  }
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  std::lock_guard<std::mutex> tg(truncate_mu_);
 
+  // Phase 1 (mutex, O(pending appends)): make every appended frame
+  // file-resident and snapshot the frame-aligned prefix length.
+  size_t snap_size = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
+    long pos = std::ftell(file_);
+    if (pos < 0) return Status::IOError("cannot size log for truncation");
+    snap_size = static_cast<size_t>(pos);
+  }
+
+  // Phase 2 (NO mutex — commits proceed): scan the snapshot prefix,
+  // locate the byte offset of the first frame that must survive, and
+  // write the new head (truncation point + retained bytes) to a temp
+  // file. Frames appended after phase 1 are untouched: they live in
+  // the old file beyond snap_size and are copied in phase 3.
   std::string data;
   if (!SlurpFile(path_, &data)) {
     return Status::IOError("cannot read log for truncation: " + path_);
   }
+  data.resize(std::min(data.size(), snap_size));
+  ReplayStats stats;
+  size_t cut = 0;
+  uint64_t base_lsn = 0;
+  bool found_cut = false;
+  size_t cur_frame_begin = SIZE_MAX;
+  uint64_t cur_frame_first_lsn = 0;
+  ScanFrames(
+      data,
+      [&](const LogRecord&, uint64_t lsn, size_t begin, size_t) {
+        if (begin != cur_frame_begin) {
+          cur_frame_begin = begin;
+          cur_frame_first_lsn = lsn;
+        }
+        if (!found_cut && lsn > watermark_lsn) {
+          // A batch frame straddling the watermark is kept whole; the
+          // LSN base backs up to renumber its first record correctly.
+          found_cut = true;
+          cut = cur_frame_begin;
+          base_lsn = cur_frame_first_lsn - 1;
+        }
+      },
+      &stats);
+  if (!found_cut) {
+    cut = stats.bytes_consumed;
+    base_lsn = stats.last_lsn;
+  }
 
-  // New head: a truncation point restoring the LSN numbering, then
-  // every well-formed frame beyond the watermark (byte-for-byte).
-  std::string retained;
+  std::string head;
   {
     LogRecord tp;
     tp.type = LogRecordType::kTruncationPoint;
-    tp.base_lsn = watermark_lsn;
+    tp.base_lsn = base_lsn;
     std::string payload;
     EncodePayload(tp, &payload);
-    AppendFrame(&retained, payload);
+    AppendFrame(&head, payload);
   }
-  ReplayStats stats;
-  ScanFrames(
-      data,
-      [&](const LogRecord&, uint64_t lsn, size_t begin, size_t end) {
-        if (lsn > watermark_lsn) retained.append(data, begin, end - begin);
-      },
-      &stats);
-
   std::string tmp = path_ + ".tmp";
   std::FILE* out = std::fopen(tmp.c_str(), "wb");
   if (out == nullptr) return Status::IOError("cannot open temp log: " + tmp);
-  size_t n = std::fwrite(retained.data(), 1, retained.size(), out);
-  bool write_ok = n == retained.size() && std::fflush(out) == 0 &&
-                  ::fsync(::fileno(out)) == 0;
+  bool write_ok =
+      std::fwrite(head.data(), 1, head.size(), out) == head.size() &&
+      (data.size() == cut ||
+       std::fwrite(data.data() + cut, 1, data.size() - cut, out) ==
+           data.size() - cut);
+  if (!write_ok) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return Status::IOError("short write during log truncation");
+  }
+
+  // Phase 3 (mutex, O(appends since phase 1)): drain the buffer, copy
+  // the live suffix [snap_size, EOF) byte-for-byte, and swap handles.
+  std::lock_guard<std::mutex> g(mu_);
+  Status flush = FlushBufferLocked();
+  if (!flush.ok()) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return flush;
+  }
+  {
+    std::FILE* in = std::fopen(path_.c_str(), "rb");
+    if (in == nullptr || std::fseek(in, static_cast<long>(snap_size),
+                                    SEEK_SET) != 0) {
+      if (in != nullptr) std::fclose(in);
+      std::fclose(out);
+      std::remove(tmp.c_str());
+      return Status::IOError("cannot read log suffix for truncation");
+    }
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+      if (std::fwrite(chunk, 1, n, out) != n) {
+        std::fclose(in);
+        std::fclose(out);
+        std::remove(tmp.c_str());
+        return Status::IOError("short write during log truncation");
+      }
+    }
+    std::fclose(in);
+  }
+  write_ok = std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
   std::fclose(out);
   if (!write_ok) {
     std::remove(tmp.c_str());
-    return Status::IOError("short write during log truncation");
+    return Status::IOError("cannot sync truncated log");
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     std::remove(tmp.c_str());
@@ -284,6 +383,38 @@ void RedoLog::ScanFrames(
       stats->clean_end = false;
       pos = frame_start;
       break;
+    }
+    if (len > 0 &&
+        static_cast<LogRecordType>(payload[0]) == LogRecordType::kBatch) {
+      // One frame, N records: decode each sub-payload; every record
+      // carries its own LSN but shares the frame's byte span.
+      size_t sub_pos = 1;
+      uint64_t count = 0;
+      bool ok = GetVarint64(payload, len, &sub_pos, &count);
+      std::vector<LogRecord> recs;
+      for (uint64_t i = 0; ok && i < count; ++i) {
+        uint64_t sub_len = 0;
+        ok = GetVarint64(payload, len, &sub_pos, &sub_len) &&
+             sub_len <= len - sub_pos;
+        if (!ok) break;
+        recs.emplace_back();
+        ok = DecodePayload(payload + sub_pos, sub_len, &recs.back()) &&
+             recs.back().type != LogRecordType::kTruncationPoint &&
+             recs.back().type != LogRecordType::kBatch;
+        sub_pos += sub_len;
+      }
+      if (!ok || sub_pos != len) {  // malformed batch
+        stats->clean_end = false;
+        pos = frame_start;
+        break;
+      }
+      pos += len + sizeof(uint32_t);
+      for (const LogRecord& rec : recs) {
+        ++lsn;
+        stats->last_lsn = lsn;
+        if (fn) fn(rec, lsn, frame_start, pos);
+      }
+      continue;
     }
     LogRecord rec;
     if (!DecodePayload(payload, len, &rec)) {  // malformed payload

@@ -38,6 +38,7 @@ enum class LogRecordType : uint8_t {
   kCommit = 3,
   kAbort = 4,
   kTruncationPoint = 5, ///< head of a truncated log; carries the LSN base
+  kBatch = 6,        ///< one frame holding N append records (batched ops)
 };
 
 /// In-memory form of a redo record.
@@ -83,6 +84,30 @@ class RedoLog {
   /// Append one record; returns its LSN.
   uint64_t Append(const LogRecord& rec);
 
+  /// Streaming builder for a batch frame: records are encoded as they
+  /// are added, so the writer never retains N LogRecords. One Batch
+  /// becomes ONE log frame (one length/checksum envelope, one buffer
+  /// append, one mutex acquisition) — the amortization behind
+  /// InsertBatch / UpdateBatch.
+  class Batch {
+   public:
+    void Add(const LogRecord& rec);
+    size_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+   private:
+    friend class RedoLog;
+    size_t count_ = 0;
+    std::string body_;  ///< concatenated [len varint][payload] entries
+    std::string scratch_;
+  };
+
+  /// Append a batch as one frame. Each contained record still
+  /// receives its own LSN; returns the LSN of the last one (0 when
+  /// empty). Replay delivers the contained records individually.
+  uint64_t AppendBatch(const Batch& batch);
+  uint64_t AppendBatch(const std::vector<LogRecord>& recs);
+
   /// LSN of the most recently appended record (0 = empty log).
   uint64_t last_lsn() const {
     return last_lsn_.load(std::memory_order_acquire);
@@ -93,7 +118,13 @@ class RedoLog {
 
   /// Drop every record with LSN <= watermark (checkpoint truncation,
   /// Section 5.1.3): the retained tail is rewritten behind a
-  /// kTruncationPoint record via temp file + atomic rename.
+  /// kTruncationPoint record via temp file + atomic rename. The bulk
+  /// of the work (scanning the prefix, writing the retained tail) runs
+  /// WITHOUT the log mutex, so concurrent commits are stalled only for
+  /// the O(appends-since-scan) handle swap, not for the whole rewrite.
+  /// A batch frame straddling the watermark is retained whole; the
+  /// truncation point's LSN base backs up accordingly so numbering
+  /// stays stable (replay filters the already-checkpointed prefix).
   Status TruncateTo(uint64_t watermark_lsn);
 
   /// Replay every well-formed record, stopping cleanly at the first
@@ -123,9 +154,16 @@ class RedoLog {
 
   static void AppendFrame(std::string* out, const std::string& payload);
 
+  /// Flush `buffer_` into `file_` (caller holds mu_).
+  Status FlushBufferLocked();
+
   std::FILE* file_ = nullptr;
   std::string path_;
   std::mutex mu_;
+  /// Serializes whole truncations against each other (mu_ still
+  /// protects every file_/buffer_ touch). Ordering: truncate_mu_
+  /// before mu_.
+  std::mutex truncate_mu_;
   std::string buffer_;
   std::atomic<uint64_t> last_lsn_{0};
 };

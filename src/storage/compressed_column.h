@@ -37,6 +37,40 @@ class CompressedColumn {
     return kNull;
   }
 
+  /// Monotone sequential reader: positions passed to At() must be
+  /// non-decreasing. Scans (Query) decode runs incrementally — an RLE
+  /// segment costs O(1) amortized per slot instead of O(log #runs) —
+  /// which is where predicate/projection pushdown into the segment
+  /// pays off.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(const CompressedColumn* col) : col_(col) {}
+
+    Value At(size_t i) {
+      switch (col_->encoding_) {
+        case Encoding::kPlain:
+          return col_->plain_[i];
+        case Encoding::kDictionary:
+          return col_->dict_.Get(i);
+        case Encoding::kRle: {
+          const RleColumn& r = col_->rle_;
+          while (run_ + 1 < r.run_count() && i >= r.run_start(run_ + 1)) {
+            ++run_;
+          }
+          return r.run_value(run_);
+        }
+      }
+      return kNull;
+    }
+
+   private:
+    const CompressedColumn* col_ = nullptr;
+    size_t run_ = 0;
+  };
+
+  Cursor cursor() const { return Cursor(this); }
+
   size_t size() const { return size_; }
   Encoding encoding() const { return encoding_; }
   size_t byte_size() const;

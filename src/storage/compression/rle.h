@@ -21,6 +21,11 @@ class RleColumn {
   /// O(log #runs) random access via binary search on run starts.
   Value Get(size_t i) const;
 
+  /// Run accessors for sequential (cursor) scans: a monotone reader
+  /// advances run by run in O(1) instead of re-searching per slot.
+  uint64_t run_start(size_t k) const { return starts_[k]; }
+  Value run_value(size_t k) const { return values_[k]; }
+
   size_t size() const { return size_; }
   size_t run_count() const { return starts_.size(); }
   size_t byte_size() const {

@@ -60,6 +60,13 @@ class TransactionManager {
   StateView GetState(TxnId id) const;
 
   LogicalClock& clock() { return clock_; }
+  const LogicalClock& clock() const { return clock_; }
+
+  /// A read snapshot admitting every currently-committed transaction
+  /// WITHOUT advancing the clock: visibility compares are strict '<',
+  /// so now+1 covers commit times <= now. The single home of the
+  /// engine-wide convention behind every engine's Now().
+  Timestamp SnapshotNow() const { return clock_.Now() + 1; }
 
   /// Number of live entries (tests/stats).
   size_t live_entries() const;

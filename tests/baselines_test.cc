@@ -32,119 +32,119 @@ TableConfig BaselineConfig(bool merge_thread = false) {
 class IuhTest : public ::testing::Test {
  protected:
   IuhTest() : table_(Schema(3), BaselineConfig()) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < 20; ++k) {
-      EXPECT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100}).ok());
+      EXPECT_TRUE(table_.Insert(txn, {k, k * 10, k * 100}).ok());
     }
-    EXPECT_TRUE(table_.Commit(&txn).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   }
   IuhTable table_;
 };
 
 TEST_F(IuhTest, InsertReadUpdateRead) {
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 5, 0b110, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 5, 0b110, &out).ok());
   EXPECT_EQ(out[1], 50u);
-  ASSERT_TRUE(table_.Update(&txn, 5, 0b010, {0, 51, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
-  Transaction r = table_.Begin();
-  ASSERT_TRUE(table_.Read(&r, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Update(txn, 5, 0b010, {0, 51, 0}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn r = table_.Begin();
+  ASSERT_TRUE(table_.Read(r, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 51u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(IuhTest, UpdateAppendsPreImageToHistory) {
   EXPECT_EQ(table_.history_size(), 0u);
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 5, 0b010, {0, 51, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 5, 0b010, {0, 51, 0}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   EXPECT_EQ(table_.history_size(), 1u);
 }
 
 TEST_F(IuhTest, AbortUndoesInPlaceUpdate) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 5, 0b010, {0, 999, 0}).ok());
-  table_.Abort(&txn);
-  Transaction r = table_.Begin();
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 5, 0b010, {0, 999, 0}).ok());
+  txn.Abort();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 50u);  // pre-image restored from history
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(IuhTest, AbortUndoesChainOfOwnUpdates) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 5, 0b010, {0, 1, 0}).ok());
-  ASSERT_TRUE(table_.Update(&txn, 5, 0b100, {0, 0, 2}).ok());
-  ASSERT_TRUE(table_.Update(&txn, 5, 0b010, {0, 3, 0}).ok());
-  table_.Abort(&txn);
-  Transaction r = table_.Begin();
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 5, 0b010, {0, 1, 0}).ok());
+  ASSERT_TRUE(table_.Update(txn, 5, 0b100, {0, 0, 2}).ok());
+  ASSERT_TRUE(table_.Update(txn, 5, 0b010, {0, 3, 0}).ok());
+  txn.Abort();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 5, 0b110, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 5, 0b110, &out).ok());
   EXPECT_EQ(out[1], 50u);
   EXPECT_EQ(out[2], 500u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(IuhTest, SnapshotReadReconstructsFromHistory) {
   Timestamp before = table_.txn_manager().clock().Tick();
   for (Value v = 0; v < 5; ++v) {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(table_.Update(&txn, 7, 0b010, {0, 700 + v, 0}).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(table_.Update(txn, 7, 0b010, {0, 700 + v, 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
-  Transaction snap = table_.Begin(IsolationLevel::kSnapshot);
+  Txn snap = table_.Begin(IsolationLevel::kSnapshot);
   // Rewind the snapshot by reading as-of `before` through a direct
   // snapshot-isolation transaction started... the version at `before`
   // is only reachable through the history chain.
   (void)snap;
-  Transaction r = table_.Begin(IsolationLevel::kSnapshot);
+  Txn r = table_.Begin(IsolationLevel::kSnapshot);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 7, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 7, 0b010, &out).ok());
   EXPECT_EQ(out[1], 704u);  // latest for a fresh snapshot
-  (void)table_.Commit(&r);
-  (void)table_.Commit(&snap);
+  (void)r.Commit();
+  (void)snap.Commit();
   (void)before;
 }
 
 TEST_F(IuhTest, SnapshotTransactionSeesStableVersionDespiteUpdates) {
-  Transaction snap = table_.Begin(IsolationLevel::kSnapshot);
+  Txn snap = table_.Begin(IsolationLevel::kSnapshot);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&snap, 7, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(snap, 7, 0b010, &out).ok());
   EXPECT_EQ(out[1], 70u);
-  Transaction w = table_.Begin();
-  ASSERT_TRUE(table_.Update(&w, 7, 0b010, {0, 71, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&w).ok());
-  ASSERT_TRUE(table_.Read(&snap, 7, 0b010, &out).ok());
+  Txn w = table_.Begin();
+  ASSERT_TRUE(table_.Update(w, 7, 0b010, {0, 71, 0}).ok());
+  ASSERT_TRUE(w.Commit().ok());
+  ASSERT_TRUE(table_.Read(snap, 7, 0b010, &out).ok());
   EXPECT_EQ(out[1], 70u);  // history walk reconstructs the old version
-  (void)table_.Commit(&snap);
+  (void)snap.Commit();
 }
 
 TEST_F(IuhTest, WriteWriteConflictAborts) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 9, 0b010, {0, 1, 0}).ok());
-  Transaction t2 = table_.Begin();
-  EXPECT_TRUE(table_.Update(&t2, 9, 0b010, {0, 2, 0}).IsAborted());
-  table_.Abort(&t2);
-  ASSERT_TRUE(table_.Commit(&t1).ok());
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 9, 0b010, {0, 1, 0}).ok());
+  Txn t2 = table_.Begin();
+  EXPECT_TRUE(table_.Update(t2, 9, 0b010, {0, 2, 0}).IsAborted());
+  t2.Abort();
+  ASSERT_TRUE(t1.Commit().ok());
 }
 
 TEST_F(IuhTest, DeleteHidesAndAbortRestores) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Delete(&t1, 3).ok());
-  table_.Abort(&t1);
-  Transaction r = table_.Begin();
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Delete(t1, 3).ok());
+  t1.Abort();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 3, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 3, 0b010, &out).ok());
   EXPECT_EQ(out[1], 30u);
-  (void)table_.Commit(&r);
-  Transaction t2 = table_.Begin();
-  ASSERT_TRUE(table_.Delete(&t2, 3).ok());
-  ASSERT_TRUE(table_.Commit(&t2).ok());
-  Transaction r2 = table_.Begin();
-  EXPECT_TRUE(table_.Read(&r2, 3, 0b010, &out).IsNotFound());
-  (void)table_.Commit(&r2);
+  (void)r.Commit();
+  Txn t2 = table_.Begin();
+  ASSERT_TRUE(table_.Delete(t2, 3).ok());
+  ASSERT_TRUE(t2.Commit().ok());
+  Txn r2 = table_.Begin();
+  EXPECT_TRUE(table_.Read(r2, 3, 0b010, &out).IsNotFound());
+  (void)r2.Commit();
 }
 
 TEST_F(IuhTest, ScanSumsVisibleVersions) {
@@ -163,44 +163,44 @@ TEST_F(IuhTest, ScanSumsVisibleVersions) {
 class DbmTest : public ::testing::Test {
  protected:
   DbmTest() : table_(Schema(3), BaselineConfig()) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < 20; ++k) {
-      EXPECT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100}).ok());
+      EXPECT_TRUE(table_.Insert(txn, {k, k * 10, k * 100}).ok());
     }
-    EXPECT_TRUE(table_.Commit(&txn).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   }
   DbmTable table_;
 };
 
 TEST_F(DbmTest, ReadsResolveThroughDelta) {
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 4, 0b110, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 4, 0b110, &out).ok());
   EXPECT_EQ(out[1], 40u);
   EXPECT_EQ(out[2], 400u);
-  ASSERT_TRUE(table_.Update(&txn, 4, 0b010, {0, 41, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
-  Transaction r = table_.Begin();
-  ASSERT_TRUE(table_.Read(&r, 4, 0b110, &out).ok());
+  ASSERT_TRUE(table_.Update(txn, 4, 0b010, {0, 41, 0}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn r = table_.Begin();
+  ASSERT_TRUE(table_.Read(r, 4, 0b110, &out).ok());
   EXPECT_EQ(out[1], 41u);
   EXPECT_EQ(out[2], 400u);  // untouched column from the insert delta
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(DbmTest, MergeConsolidatesDeltaIntoMain) {
   for (Value k = 0; k < 20; ++k) {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(table_.Update(&txn, k, 0b010, {0, k + 1000, 0}).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(table_.Update(txn, k, 0b010, {0, k + 1000, 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   ASSERT_TRUE(table_.MergeRange(0));
   EXPECT_EQ(table_.merges_performed(), 1u);
-  Transaction r = table_.Begin();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 6, 0b110, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 6, 0b110, &out).ok());
   EXPECT_EQ(out[1], 1006u);
   EXPECT_EQ(out[2], 600u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
   uint64_t sum = 0;
   Timestamp now = table_.txn_manager().clock().Tick();
   ASSERT_TRUE(table_.SumColumn(1, now, &sum).ok());
@@ -210,25 +210,25 @@ TEST_F(DbmTest, MergeConsolidatesDeltaIntoMain) {
 }
 
 TEST_F(DbmTest, AbortedDeltasNeverMerge) {
-  Transaction good = table_.Begin();
-  ASSERT_TRUE(table_.Update(&good, 2, 0b010, {0, 222, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&good).ok());
-  Transaction bad = table_.Begin();
-  ASSERT_TRUE(table_.Update(&bad, 2, 0b010, {0, 666, 0}).ok());
-  table_.Abort(&bad);
+  Txn good = table_.Begin();
+  ASSERT_TRUE(table_.Update(good, 2, 0b010, {0, 222, 0}).ok());
+  ASSERT_TRUE(good.Commit().ok());
+  Txn bad = table_.Begin();
+  ASSERT_TRUE(table_.Update(bad, 2, 0b010, {0, 666, 0}).ok());
+  bad.Abort();
   ASSERT_TRUE(table_.MergeRange(0));
-  Transaction r = table_.Begin();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 2, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 2, 0b010, &out).ok());
   EXPECT_EQ(out[1], 222u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(DbmTest, MergeDrainsActiveTransactions) {
   // The defining behaviour: a merge must WAIT for active transactions
   // and BLOCK new ones until it finishes.
-  Transaction open = table_.Begin();
-  ASSERT_TRUE(table_.Update(&open, 1, 0b010, {0, 11, 0}).ok());
+  Txn open = table_.Begin();
+  ASSERT_TRUE(table_.Update(open, 1, 0b010, {0, 11, 0}).ok());
 
   std::atomic<bool> merge_done{false};
   std::thread merger([&] {
@@ -237,25 +237,25 @@ TEST_F(DbmTest, MergeDrainsActiveTransactions) {
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   EXPECT_FALSE(merge_done.load()) << "merge must wait for the open txn";
-  ASSERT_TRUE(table_.Commit(&open).ok());
+  ASSERT_TRUE(open.Commit().ok());
   merger.join();
   EXPECT_TRUE(merge_done.load());
   EXPECT_GT(table_.drain_waits_us(), 0u);
   // Data is intact after the drained merge.
-  Transaction r = table_.Begin();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 1, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 1, 0b010, &out).ok());
   EXPECT_EQ(out[1], 11u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(DbmTest, WriteWriteConflictAborts) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 9, 0b010, {0, 1, 0}).ok());
-  Transaction t2 = table_.Begin();
-  EXPECT_TRUE(table_.Update(&t2, 9, 0b010, {0, 2, 0}).IsAborted());
-  table_.Abort(&t2);
-  ASSERT_TRUE(table_.Commit(&t1).ok());
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 9, 0b010, {0, 1, 0}).ok());
+  Txn t2 = table_.Begin();
+  EXPECT_TRUE(table_.Update(t2, 9, 0b010, {0, 2, 0}).IsAborted());
+  t2.Abort();
+  ASSERT_TRUE(t1.Commit().ok());
 }
 
 TEST_F(DbmTest, BackgroundMergeTriggersOnThreshold) {
@@ -263,19 +263,19 @@ TEST_F(DbmTest, BackgroundMergeTriggersOnThreshold) {
   cfg.merge_threshold = 16;
   DbmTable t(Schema(3), cfg);
   {
-    Transaction txn = t.Begin();
+    Txn txn = t.Begin();
     for (Value k = 0; k < 20; ++k) {
-      ASSERT_TRUE(t.Insert(&txn, {k, k, k}).ok());
+      ASSERT_TRUE(t.Insert(txn, {k, k, k}).ok());
     }
-    ASSERT_TRUE(t.Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   Random rng(9);
   for (int i = 0; i < 200; ++i) {
-    Transaction txn = t.Begin();
-    if (t.Update(&txn, rng.Uniform(20), 0b010, {0, Value(i), 0}).ok()) {
-      (void)t.Commit(&txn);
+    Txn txn = t.Begin();
+    if (t.Update(txn, rng.Uniform(20), 0b010, {0, Value(i), 0}).ok()) {
+      (void)txn.Commit();
     } else {
-      t.Abort(&txn);
+      txn.Abort();
     }
   }
   for (int i = 0; i < 100 && t.merges_performed() == 0; ++i) {

@@ -1,0 +1,271 @@
+// Batched point operations (MultiRead / InsertBatch / UpdateBatch)
+// and RAII session semantics: amortized index probes, ONE redo-log
+// frame per batch (verified at the frame level and through recovery),
+// auto-abort on scope exit, and the unified commit pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "core/table.h"
+#include "log/redo_log.h"
+#include "storage/compression/varint.h"
+
+namespace lstore {
+namespace {
+
+TableConfig SmallConfig() {
+  TableConfig cfg;
+  cfg.range_size = 64;
+  cfg.insert_range_size = 64;
+  cfg.tail_page_slots = 16;
+  cfg.merge_threshold = 1u << 30;
+  cfg.enable_merge_thread = false;
+  return cfg;
+}
+
+class BatchTest : public ::testing::Test {
+ protected:
+  BatchTest() : table_("b", Schema(3), SmallConfig()) {
+    Txn txn = table_.Begin();
+    std::vector<std::vector<Value>> rows;
+    for (Value k = 0; k < 100; ++k) rows.push_back({k, k * 10, 7});
+    EXPECT_TRUE(table_.InsertBatch(txn, rows).ok());
+    EXPECT_TRUE(txn.Commit().ok());
+  }
+
+  Table table_;
+};
+
+TEST_F(BatchTest, MultiReadReturnsEveryRow) {
+  Txn txn = table_.Begin();
+  std::vector<Value> keys = {5, 99, 0, 42};
+  std::vector<std::vector<Value>> rows;
+  std::vector<Status> statuses;
+  ASSERT_TRUE(table_.MultiRead(txn, keys, 0b011, &rows, &statuses).ok());
+  ASSERT_EQ(rows.size(), 4u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(statuses[i].ok());
+    EXPECT_EQ(rows[i][0], keys[i]);
+    EXPECT_EQ(rows[i][1], keys[i] * 10);
+  }
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(BatchTest, MultiReadReportsMissesIndividually) {
+  Txn txn = table_.Begin();
+  std::vector<std::vector<Value>> rows;
+  std::vector<Status> statuses;
+  Status s = table_.MultiRead(txn, {50, 777, 51}, 0b010, &rows, &statuses);
+  EXPECT_TRUE(s.IsNotFound());  // first error surfaces
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_TRUE(statuses[2].ok());  // reads continue past the miss
+  EXPECT_TRUE(rows[1].empty());
+  EXPECT_EQ(rows[2][1], 510u);
+}
+
+TEST_F(BatchTest, UpdateBatchAppliesAllRows) {
+  Txn txn = table_.Begin();
+  std::vector<Value> keys;
+  std::vector<std::vector<Value>> rows;
+  for (Value k = 10; k < 20; ++k) {
+    keys.push_back(k);
+    rows.push_back({0, k * 1000, 0});
+  }
+  ASSERT_TRUE(table_.UpdateBatch(txn, keys, 0b010, rows).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn check = table_.Begin();
+  std::vector<std::vector<Value>> out;
+  ASSERT_TRUE(table_.MultiRead(check, keys, 0b010, &out).ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(out[i][1], keys[i] * 1000);
+  }
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST_F(BatchTest, UpdateBatchValidatesMaskOnce) {
+  Txn txn = table_.Begin();
+  EXPECT_TRUE(table_.UpdateBatch(txn, {1}, 0b001, {{9, 9, 9}})
+                  .IsInvalidArgument());  // key column
+  EXPECT_TRUE(
+      table_.UpdateBatch(txn, {1, 2}, 0b010, {{0, 1, 0}})
+          .IsInvalidArgument());  // keys/rows count mismatch
+  EXPECT_TRUE(table_.UpdateBatch(txn, {1}, 0b010, {{0, 1}})
+                  .IsInvalidArgument());  // short row, masked col OOB
+  EXPECT_TRUE(
+      table_.Update(txn, 1, 0b010, {0}).IsInvalidArgument());  // same, single
+}
+
+TEST_F(BatchTest, ForeignHostSessionsAreRejected) {
+  Table other("other", Schema(3), SmallConfig());
+  Txn foreign = other.Begin();
+  std::vector<Value> out;
+  EXPECT_TRUE(table_.Read(foreign, 1, 0b010, &out).IsInvalidArgument());
+  EXPECT_TRUE(table_.Insert(foreign, {900, 1, 2}).IsInvalidArgument());
+  // Database-begun sessions remain valid on member tables (the scope
+  // check allows the owning database as host).
+  Database db;
+  ASSERT_TRUE(db.CreateTable("m", Schema(3), SmallConfig()).ok());
+  Txn scoped = db.Begin();
+  EXPECT_TRUE(db.GetTable("m")->Insert(scoped, {1, 2, 3}).ok());
+  ASSERT_TRUE(scoped.Commit().ok());
+}
+
+TEST_F(BatchTest, BatchAbortTombstonesEverything) {
+  {
+    Txn txn = table_.Begin();
+    std::vector<Value> keys;
+    std::vector<std::vector<Value>> rows;
+    for (Value k = 0; k < 30; ++k) {
+      keys.push_back(k);
+      rows.push_back({0, 424242, 0});
+    }
+    ASSERT_TRUE(table_.UpdateBatch(txn, keys, 0b010, rows).ok());
+    ASSERT_TRUE(table_.InsertBatch(txn, {{500, 1, 1}, {501, 2, 2}}).ok());
+    // Session dies without commit: auto-abort.
+  }
+  uint64_t sum = 0, rows = 0;
+  ASSERT_TRUE(table_.NewQuery().Sum(1, &sum, &rows).ok());
+  EXPECT_EQ(rows, 100u);  // inserts rolled back (index too)
+  uint64_t expect = 0;
+  for (Value k = 0; k < 100; ++k) expect += k * 10;
+  EXPECT_EQ(sum, expect);  // updates tombstoned
+  Txn txn = table_.Begin();
+  std::vector<Value> out;
+  EXPECT_TRUE(table_.Read(txn, 500, 0b001, &out).IsNotFound());
+}
+
+TEST_F(BatchTest, InsertBatchStopsAtDuplicate) {
+  Txn txn = table_.Begin();
+  Status s = table_.InsertBatch(txn, {{200, 1, 1}, {5, 2, 2}, {201, 3, 3}});
+  EXPECT_TRUE(s.IsAlreadyExists());  // key 5 already present
+  // Row 200 (before the failure) is in the writeset and commits.
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn check = table_.Begin();
+  std::vector<Value> out;
+  EXPECT_TRUE(table_.Read(check, 200, 0b001, &out).ok());
+  EXPECT_TRUE(table_.Read(check, 201, 0b001, &out).IsNotFound());
+}
+
+// One frame per batch, verified at the log-frame level: the batch of
+// N tail appends plus the commit record make exactly TWO physical
+// frames, yet every record keeps its own LSN and replays individually.
+TEST(BatchLogTest, BatchProducesOneFrameAndReplays) {
+  std::string path = "/tmp/lstore_batch_log_test.log";
+  std::remove(path.c_str());
+  TableConfig cfg = SmallConfig();
+  cfg.enable_logging = true;
+  cfg.log_path = path;
+  {
+    Table table("b", Schema(3), cfg);
+    Txn txn = table.Begin();
+    std::vector<std::vector<Value>> rows;
+    for (Value k = 0; k < 40; ++k) rows.push_back({k, k + 1, 0});
+    ASSERT_TRUE(table.InsertBatch(txn, rows).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // Frame-level inspection: parse the physical framing directly.
+  // 40 batched inserts + 1 commit record = exactly TWO frames.
+  {
+    std::string data;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      data.append(chunk, n);
+    }
+    std::fclose(f);
+    size_t frames = 0, pos = 0;
+    while (pos < data.size()) {
+      uint64_t len = 0;
+      ASSERT_TRUE(GetVarint64(data, &pos, &len));
+      pos += len + sizeof(uint32_t);  // payload + checksum
+      ++frames;
+    }
+    EXPECT_EQ(frames, 2u);
+  }
+  // Logically the batch frame still carries 40 individually-numbered
+  // records.
+  size_t records = 0;
+  uint64_t max_lsn = 0;
+  RedoLog::ReplayStats stats;
+  ASSERT_TRUE(RedoLog::Replay(
+                  path,
+                  [&](const LogRecord&, uint64_t lsn) {
+                    ++records;
+                    max_lsn = lsn;
+                  },
+                  &stats)
+                  .ok());
+  EXPECT_TRUE(stats.clean_end);
+  EXPECT_EQ(records, 41u);  // 40 inserts + 1 commit
+  EXPECT_EQ(max_lsn, 41u);  // every record carries its own LSN
+
+  // And recovery rebuilds the table from the batch frame.
+  Table recovered("b", Schema(3), cfg);
+  ASSERT_TRUE(recovered.RecoverFromLog().ok());
+  EXPECT_EQ(recovered.num_rows(), 40u);
+  uint64_t sum = 0;
+  ASSERT_TRUE(recovered.NewQuery().Sum(1, &sum).ok());
+  EXPECT_EQ(sum, 40u * 41u / 2);
+  std::remove(path.c_str());
+}
+
+// Cross-table sessions run the same pipeline: only written tables get
+// commit records, and auto-abort spans all participants.
+TEST(SessionTest, CrossTableSessionCommitsAtomically) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", Schema(3), SmallConfig()).ok());
+  ASSERT_TRUE(db.CreateTable("b", Schema(3), SmallConfig()).ok());
+  Table* a = db.GetTable("a");
+  Table* b = db.GetTable("b");
+  {
+    Txn txn = db.Begin();
+    ASSERT_TRUE(a->Insert(txn, {1, 10, 0}).ok());
+    ASSERT_TRUE(b->Insert(txn, {1, 20, 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    // Move 5 from a:1 to b:1, then drop the session: both tombstoned.
+    Txn txn = db.Begin();
+    ASSERT_TRUE(a->Update(txn, 1, 0b010, {0, 5, 0}).ok());
+    ASSERT_TRUE(b->Update(txn, 1, 0b010, {0, 25, 0}).ok());
+  }
+  Txn check = db.Begin();
+  std::vector<Value> out;
+  ASSERT_TRUE(a->Read(check, 1, 0b010, &out).ok());
+  EXPECT_EQ(out[1], 10u);
+  ASSERT_TRUE(b->Read(check, 1, 0b010, &out).ok());
+  EXPECT_EQ(out[1], 20u);
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST(SessionTest, CommitAfterFinishFails) {
+  Table table("t", Schema(2), SmallConfig());
+  Txn txn = table.Begin();
+  ASSERT_TRUE(table.Insert(txn, {1, 2}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(txn.Commit().IsInvalidArgument());
+  txn.Abort();  // no-op after commit
+  EXPECT_FALSE(txn.active());
+}
+
+TEST(SessionTest, MoveTransfersOwnership) {
+  Table table("t", Schema(2), SmallConfig());
+  Txn a = table.Begin();
+  ASSERT_TRUE(table.Insert(a, {1, 2}).ok());
+  Txn b = std::move(a);
+  EXPECT_TRUE(b.active());
+  ASSERT_TRUE(b.Commit().ok());
+  Txn check = table.Begin();
+  std::vector<Value> out;
+  EXPECT_TRUE(table.Read(check, 1, 0b01, &out).ok());
+}
+
+}  // namespace
+}  // namespace lstore

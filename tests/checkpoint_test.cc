@@ -19,6 +19,7 @@
 #include "checkpoint/checkpoint_manager.h"
 #include "checkpoint/serde.h"
 #include "core/database.h"
+#include "core/query.h"
 #include "core/table.h"
 #include "log/redo_log.h"
 
@@ -144,26 +145,26 @@ TEST_F(CheckpointTest, RoundTripAcrossTwoTablesWithTimeTravel) {
     Table* accounts = db->GetTable("accounts");
     Table* orders = db->GetTable("orders");
 
-    Transaction load = db->Begin();
+    Txn load = db->Begin();
     for (Value k = 0; k < 50; ++k) {
-      ASSERT_TRUE(accounts->Insert(&load, {k, 1000 + k, 7}).ok());
-      ASSERT_TRUE(orders->Insert(&load, {k, k * 2, k * 3, 1}).ok());
+      ASSERT_TRUE(accounts->Insert(load, {k, 1000 + k, 7}).ok());
+      ASSERT_TRUE(orders->Insert(load, {k, k * 2, k * 3, 1}).ok());
     }
-    ASSERT_TRUE(db->Commit(&load).ok());
+    ASSERT_TRUE(load.Commit().ok());
 
-    before_update = db->ReadTimestamp();
-    Transaction mut = db->Begin();
+    before_update = db->Now();
+    Txn mut = db->Begin();
     for (Value k = 0; k < 50; k += 5) {
-      ASSERT_TRUE(accounts->Update(&mut, k, 0b010, {0, 2000 + k, 0}).ok());
+      ASSERT_TRUE(accounts->Update(mut, k, 0b010, {0, 2000 + k, 0}).ok());
     }
-    ASSERT_TRUE(orders->Update(&mut, 10, 0b0100, {0, 0, 777, 0}).ok());
-    ASSERT_TRUE(db->Commit(&mut).ok());
-    after_update = db->ReadTimestamp();
+    ASSERT_TRUE(orders->Update(mut, 10, 0b0100, {0, 0, 777, 0}).ok());
+    ASSERT_TRUE(mut.Commit().ok());
+    after_update = db->Now();
 
-    Transaction del = db->Begin();
-    ASSERT_TRUE(accounts->Delete(&del, 49).ok());
-    ASSERT_TRUE(orders->Delete(&del, 48).ok());
-    ASSERT_TRUE(db->Commit(&del).ok());
+    Txn del = db->Begin();
+    ASSERT_TRUE(accounts->Delete(del, 49).ok());
+    ASSERT_TRUE(orders->Delete(del, 48).ok());
+    ASSERT_TRUE(del.Commit().ok());
 
     ASSERT_TRUE(db->Checkpoint().ok());
     // The redo log is truncated to the checkpoint watermark: nothing
@@ -188,20 +189,20 @@ TEST_F(CheckpointTest, RoundTripAcrossTwoTablesWithTimeTravel) {
   ASSERT_NE(accounts, nullptr);
   ASSERT_NE(orders, nullptr);
 
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
   for (Value k = 0; k < 48; ++k) {
-    ASSERT_TRUE(accounts->Read(&r, k, 0b111, &out).ok()) << k;
+    ASSERT_TRUE(accounts->Read(r, k, 0b111, &out).ok()) << k;
     Value expect_balance = (k % 5 == 0) ? 2000 + k : 1000 + k;
     EXPECT_EQ(out[1], expect_balance) << k;
     EXPECT_EQ(out[2], 7u) << k;
-    ASSERT_TRUE(orders->Read(&r, k, 0b1111, &out).ok()) << k;
+    ASSERT_TRUE(orders->Read(r, k, 0b1111, &out).ok()) << k;
     EXPECT_EQ(out[2], k == 10 ? 777 : k * 3) << k;
   }
   // Deletes survived.
-  EXPECT_TRUE(accounts->Read(&r, 49, 0b111, &out).IsNotFound());
-  EXPECT_TRUE(orders->Read(&r, 48, 0b1111, &out).IsNotFound());
-  (void)db->Commit(&r);
+  EXPECT_TRUE(accounts->Read(r, 49, 0b111, &out).IsNotFound());
+  EXPECT_TRUE(orders->Read(r, 48, 0b1111, &out).IsNotFound());
+  (void)r.Commit();
 
   // Historic versions remain readable under time travel.
   ASSERT_TRUE(accounts->ReadAsOf(10, before_update, 0b010, &out).ok());
@@ -214,9 +215,9 @@ TEST_F(CheckpointTest, RoundTripAcrossTwoTablesWithTimeTravel) {
   EXPECT_EQ(out[2], 30u);
 
   // New transactions work and LSNs continue beyond the old watermark.
-  Transaction w = db->Begin();
-  ASSERT_TRUE(accounts->Insert(&w, {100, 1, 2}).ok());
-  ASSERT_TRUE(db->Commit(&w).ok());
+  Txn w = db->Begin();
+  ASSERT_TRUE(accounts->Insert(w, {100, 1, 2}).ok());
+  ASSERT_TRUE(w.Commit().ok());
   RedoLog::ReplayStats stats;
   ASSERT_TRUE(RedoLog::Replay(
                   dir_ + "/accounts.log", [](const LogRecord&, uint64_t) {},
@@ -230,22 +231,22 @@ TEST_F(CheckpointTest, RecoversFromLogAloneWithoutCheckpoint) {
     std::unique_ptr<Database> db;
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
-    Transaction txn = db->Begin();
+    Txn txn = db->Begin();
     for (Value k = 0; k < 10; ++k) {
-      ASSERT_TRUE(db->GetTable("t")->Insert(&txn, {k, k * 7, 0}).ok());
+      ASSERT_TRUE(db->GetTable("t")->Insert(txn, {k, k * 7, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
     // No checkpoint: the catalog + log carry everything.
   }
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
   ASSERT_NE(t, nullptr);
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t->Read(&r, 4, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 4, 0b010, &out).ok());
   EXPECT_EQ(out[1], 28u);
-  (void)db->Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(CheckpointTest, PostCheckpointWritesReplayFromLogTail) {
@@ -254,32 +255,32 @@ TEST_F(CheckpointTest, PostCheckpointWritesReplayFromLogTail) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 10; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, k, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, k, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
+    ASSERT_TRUE(a.Commit().ok());
     ASSERT_TRUE(db->Checkpoint().ok());
     // Writes after the checkpoint live only in the log tail.
-    Transaction b = db->Begin();
-    ASSERT_TRUE(t->Update(&b, 3, 0b010, {0, 999, 0}).ok());
-    ASSERT_TRUE(t->Insert(&b, {20, 20, 20}).ok());
-    ASSERT_TRUE(db->Commit(&b).ok());
-    Transaction c = db->Begin();
-    ASSERT_TRUE(t->Delete(&c, 7).ok());
-    ASSERT_TRUE(db->Commit(&c).ok());
+    Txn b = db->Begin();
+    ASSERT_TRUE(t->Update(b, 3, 0b010, {0, 999, 0}).ok());
+    ASSERT_TRUE(t->Insert(b, {20, 20, 20}).ok());
+    ASSERT_TRUE(b.Commit().ok());
+    Txn c = db->Begin();
+    ASSERT_TRUE(t->Delete(c, 7).ok());
+    ASSERT_TRUE(c.Commit().ok());
   }
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t->Read(&r, 3, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 3, 0b010, &out).ok());
   EXPECT_EQ(out[1], 999u);
-  ASSERT_TRUE(t->Read(&r, 20, 0b111, &out).ok());
+  ASSERT_TRUE(t->Read(r, 20, 0b111, &out).ok());
   EXPECT_EQ(out[2], 20u);
-  EXPECT_TRUE(t->Read(&r, 7, 0b010, &out).IsNotFound());
-  (void)db->Commit(&r);
+  EXPECT_TRUE(t->Read(r, 7, 0b010, &out).IsNotFound());
+  (void)r.Commit();
 }
 
 TEST_F(CheckpointTest, TransactionOpenDuringCheckpointResolvedByLogTail) {
@@ -288,32 +289,32 @@ TEST_F(CheckpointTest, TransactionOpenDuringCheckpointResolvedByLogTail) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction setup = db->Begin();
-    ASSERT_TRUE(t->Insert(&setup, {1, 10, 0}).ok());
-    ASSERT_TRUE(t->Insert(&setup, {2, 20, 0}).ok());
-    ASSERT_TRUE(db->Commit(&setup).ok());
+    Txn setup = db->Begin();
+    ASSERT_TRUE(t->Insert(setup, {1, 10, 0}).ok());
+    ASSERT_TRUE(t->Insert(setup, {2, 20, 0}).ok());
+    ASSERT_TRUE(setup.Commit().ok());
 
     // Two in-flight transactions at checkpoint time: one commits
     // after the checkpoint (outcome in the log tail), one never does.
-    Transaction wins = db->Begin();
-    ASSERT_TRUE(t->Update(&wins, 1, 0b010, {0, 111, 0}).ok());
-    Transaction loses = db->Begin();
-    ASSERT_TRUE(t->Update(&loses, 2, 0b010, {0, 222, 0}).ok());
+    Txn wins = db->Begin();
+    ASSERT_TRUE(t->Update(wins, 1, 0b010, {0, 111, 0}).ok());
+    Txn loses = db->Begin();
+    ASSERT_TRUE(t->Update(loses, 2, 0b010, {0, 222, 0}).ok());
 
     ASSERT_TRUE(db->Checkpoint().ok());
-    ASSERT_TRUE(db->Commit(&wins).ok());
+    ASSERT_TRUE(wins.Commit().ok());
     // `loses` crashes without an outcome record.
   }
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t->Read(&r, 1, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 1, 0b010, &out).ok());
   EXPECT_EQ(out[1], 111u);  // committed after the watermark
-  ASSERT_TRUE(t->Read(&r, 2, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 2, 0b010, &out).ok());
   EXPECT_EQ(out[1], 20u);  // rolled back: no commit record
-  (void)db->Commit(&r);
+  (void)r.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -326,14 +327,14 @@ TEST_F(CheckpointTest, TornLogTailRecoversCommittedPrefix) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 5; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, k, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, k, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
-    Transaction b = db->Begin();
-    ASSERT_TRUE(t->Update(&b, 2, 0b010, {0, 55, 0}).ok());
-    ASSERT_TRUE(db->Commit(&b).ok());
+    ASSERT_TRUE(a.Commit().ok());
+    Txn b = db->Begin();
+    ASSERT_TRUE(t->Update(b, 2, 0b010, {0, 55, 0}).ok());
+    ASSERT_TRUE(b.Commit().ok());
   }
   // Crash mid-write: the final bytes of the log are torn off.
   std::string log = dir_ + "/t.log";
@@ -342,14 +343,14 @@ TEST_F(CheckpointTest, TornLogTailRecoversCommittedPrefix) {
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
   // The torn commit record aborts txn b; the first transaction stands.
-  ASSERT_TRUE(t->Read(&r, 2, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 2, 0b010, &out).ok());
   EXPECT_EQ(out[1], 2u);
-  ASSERT_TRUE(t->Read(&r, 4, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 4, 0b010, &out).ok());
   EXPECT_EQ(out[1], 4u);
-  (void)db->Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(CheckpointTest, FlippedByteInCheckpointFailsCleanly) {
@@ -358,11 +359,11 @@ TEST_F(CheckpointTest, FlippedByteInCheckpointFailsCleanly) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 20; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, k, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, k, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
+    ASSERT_TRUE(a.Commit().ok());
     ASSERT_TRUE(db->Checkpoint().ok());
   }
   // Flip one byte in the middle of the checkpointed pages.
@@ -395,14 +396,14 @@ TEST_F(CheckpointTest, CrashBetweenCheckpointAndTruncationConverges) {
     ASSERT_TRUE(Database::Open(dir_, opts, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 10; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, k * 3, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, k * 3, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
-    Transaction u = db->Begin();
-    ASSERT_TRUE(t->Update(&u, 5, 0b010, {0, 500, 0}).ok());
-    ASSERT_TRUE(db->Commit(&u).ok());
+    ASSERT_TRUE(a.Commit().ok());
+    Txn u = db->Begin();
+    ASSERT_TRUE(t->Update(u, 5, 0b010, {0, 500, 0}).ok());
+    ASSERT_TRUE(u.Commit().ok());
     ASSERT_TRUE(db->Checkpoint().ok());
     // The full log is still on disk (manifest written, truncation
     // "crashed"): replay below the watermark must be idempotent.
@@ -415,13 +416,13 @@ TEST_F(CheckpointTest, CrashBetweenCheckpointAndTruncationConverges) {
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, opts, &db).ok());
   Table* t = db->GetTable("t");
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t->Read(&r, 5, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 500u);
-  ASSERT_TRUE(t->Read(&r, 9, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 9, 0b010, &out).ok());
   EXPECT_EQ(out[1], 27u);
-  (void)db->Commit(&r);
+  (void)r.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -435,19 +436,19 @@ TEST_F(CheckpointTest, MergedAndHistoricStateSurvivesRestart) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 32; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, k, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, k, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
-    early = db->ReadTimestamp();
+    ASSERT_TRUE(a.Commit().ok());
+    early = db->Now();
     for (int round = 0; round < 3; ++round) {
-      Transaction u = db->Begin();
+      Txn u = db->Begin();
       for (Value k = 0; k < 32; ++k) {
         ASSERT_TRUE(
-            t->Update(&u, k, 0b010, {0, 1000 * (round + 1) + k, 0}).ok());
+            t->Update(u, k, 0b010, {0, 1000 * (round + 1) + k, 0}).ok());
       }
-      ASSERT_TRUE(db->Commit(&u).ok());
+      ASSERT_TRUE(u.Commit().ok());
     }
     t->FlushAll();                       // consolidate into base pages
     ASSERT_GT(t->CompressHistoricNow(0), 0u);  // move old tail versions
@@ -457,13 +458,13 @@ TEST_F(CheckpointTest, MergedAndHistoricStateSurvivesRestart) {
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
   EXPECT_GT(t->RangeTps(0), 0u);  // merge lineage restored
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
   for (Value k = 0; k < 32; ++k) {
-    ASSERT_TRUE(t->Read(&r, k, 0b010, &out).ok());
+    ASSERT_TRUE(t->Read(r, k, 0b010, &out).ok());
     EXPECT_EQ(out[1], 3000 + k);
   }
-  (void)db->Commit(&r);
+  (void)r.Commit();
   // Versions that live in the compressed historic store still answer
   // time-travel queries after restart.
   ASSERT_TRUE(t->ReadAsOf(4, early, 0b010, &out).ok());
@@ -478,12 +479,12 @@ TEST_F(CheckpointTest, SecondaryIndexesRebuiltOnOpen) {
     ASSERT_TRUE(db->CreateTable("u", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
     Table* u = db->GetTable("u");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 20; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, k % 4, 0}).ok());
-      ASSERT_TRUE(u->Insert(&a, {k, k % 5, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, k % 4, 0}).ok());
+      ASSERT_TRUE(u->Insert(a, {k, k % 5, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
+    ASSERT_TRUE(a.Commit().ok());
     // Index on t reaches the durable state via the checkpoint
     // manifest; index on u only via the catalog (no checkpoint after).
     t->CreateSecondaryIndex(1);
@@ -492,10 +493,20 @@ TEST_F(CheckpointTest, SecondaryIndexesRebuiltOnOpen) {
   }
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
-  std::vector<Value> keys =
-      db->GetTable("t")->SelectKeysWhere(1, 2, db->ReadTimestamp());
+  std::vector<Value> keys;
+  ASSERT_TRUE(db->GetTable("t")
+                  ->NewQuery()
+                  .Where(1, Value{2})
+                  .AsOf(db->Now())
+                  .Keys(&keys)
+                  .ok());
   EXPECT_EQ(keys, (std::vector<Value>{2, 6, 10, 14, 18}));
-  keys = db->GetTable("u")->SelectKeysWhere(1, 2, db->ReadTimestamp());
+  ASSERT_TRUE(db->GetTable("u")
+                  ->NewQuery()
+                  .Where(1, Value{2})
+                  .AsOf(db->Now())
+                  .Keys(&keys)
+                  .ok());
   EXPECT_EQ(keys, (std::vector<Value>{2, 7, 12, 17}));
 }
 
@@ -505,29 +516,29 @@ TEST_F(CheckpointTest, TableLifecycleSurvivesRestart) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("keep", Schema(3), SmallConfig()).ok());
     ASSERT_TRUE(db->CreateTable("drop_me", Schema(3), SmallConfig()).ok());
-    Transaction a = db->Begin();
-    ASSERT_TRUE(db->GetTable("keep")->Insert(&a, {1, 2, 3}).ok());
-    ASSERT_TRUE(db->Commit(&a).ok());
+    Txn a = db->Begin();
+    ASSERT_TRUE(db->GetTable("keep")->Insert(a, {1, 2, 3}).ok());
+    ASSERT_TRUE(a.Commit().ok());
     ASSERT_TRUE(db->Checkpoint().ok());
     ASSERT_TRUE(db->DropTable("drop_me").ok());
     // Created after the checkpoint: recovered from catalog + log only.
     ASSERT_TRUE(db->CreateTable("late", Schema(2), SmallConfig()).ok());
-    Transaction b = db->Begin();
-    ASSERT_TRUE(db->GetTable("late")->Insert(&b, {7, 70}).ok());
-    ASSERT_TRUE(db->Commit(&b).ok());
+    Txn b = db->Begin();
+    ASSERT_TRUE(db->GetTable("late")->Insert(b, {7, 70}).ok());
+    ASSERT_TRUE(b.Commit().ok());
   }
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   EXPECT_EQ(db->GetTable("drop_me"), nullptr);
   ASSERT_NE(db->GetTable("keep"), nullptr);
   ASSERT_NE(db->GetTable("late"), nullptr);
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(db->GetTable("keep")->Read(&r, 1, 0b111, &out).ok());
+  ASSERT_TRUE(db->GetTable("keep")->Read(r, 1, 0b111, &out).ok());
   EXPECT_EQ(out[2], 3u);
-  ASSERT_TRUE(db->GetTable("late")->Read(&r, 7, 0b11, &out).ok());
+  ASSERT_TRUE(db->GetTable("late")->Read(r, 7, 0b11, &out).ok());
   EXPECT_EQ(out[1], 70u);
-  (void)db->Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(CheckpointTest, RecreatedTableDoesNotResurrectDroppedData) {
@@ -536,30 +547,30 @@ TEST_F(CheckpointTest, RecreatedTableDoesNotResurrectDroppedData) {
     ASSERT_TRUE(Database::Open(dir_, &db).ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
-    Transaction a = db->Begin();
+    Txn a = db->Begin();
     for (Value k = 0; k < 20; ++k) {
-      ASSERT_TRUE(t->Insert(&a, {k, 111, 0}).ok());
+      ASSERT_TRUE(t->Insert(a, {k, 111, 0}).ok());
     }
-    ASSERT_TRUE(db->Commit(&a).ok());
+    ASSERT_TRUE(a.Commit().ok());
     // Checkpoint pins the old incarnation in the manifest with a high
     // watermark; a stale entry must not shadow the new table's log.
     ASSERT_TRUE(db->Checkpoint().ok());
     ASSERT_TRUE(db->DropTable("t").ok());
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     t = db->GetTable("t");
-    Transaction b = db->Begin();
-    ASSERT_TRUE(t->Insert(&b, {5, 222, 0}).ok());
-    ASSERT_TRUE(db->Commit(&b).ok());
+    Txn b = db->Begin();
+    ASSERT_TRUE(t->Insert(b, {5, 222, 0}).ok());
+    ASSERT_TRUE(b.Commit().ok());
   }
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t->Read(&r, 5, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 222u);  // new incarnation, not the dropped one
-  EXPECT_TRUE(t->Read(&r, 6, 0b010, &out).IsNotFound());
-  (void)db->Commit(&r);
+  EXPECT_TRUE(t->Read(r, 6, 0b010, &out).IsNotFound());
+  (void)r.Commit();
 }
 
 TEST_F(CheckpointTest, BackgroundCheckpointThreadTriggers) {
@@ -571,9 +582,9 @@ TEST_F(CheckpointTest, BackgroundCheckpointThreadTriggers) {
     ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
     Table* t = db->GetTable("t");
     for (Value k = 0; k < 50; ++k) {
-      Transaction txn = db->Begin();
-      ASSERT_TRUE(t->Insert(&txn, {k, k, 0}).ok());
-      ASSERT_TRUE(db->Commit(&txn).ok());
+      Txn txn = db->Begin();
+      ASSERT_TRUE(t->Insert(txn, {k, k, 0}).ok());
+      ASSERT_TRUE(txn.Commit().ok());
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     for (int i = 0; i < 100 &&
@@ -587,11 +598,11 @@ TEST_F(CheckpointTest, BackgroundCheckpointThreadTriggers) {
   std::unique_ptr<Database> db;
   ASSERT_TRUE(Database::Open(dir_, &db).ok());
   Table* t = db->GetTable("t");
-  Transaction r = db->Begin();
+  Txn r = db->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t->Read(&r, 42, 0b010, &out).ok());
+  ASSERT_TRUE(t->Read(r, 42, 0b010, &out).ok());
   EXPECT_EQ(out[1], 42u);
-  (void)db->Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(CheckpointTest, RepeatedCheckpointsPruneOldFiles) {
@@ -600,9 +611,9 @@ TEST_F(CheckpointTest, RepeatedCheckpointsPruneOldFiles) {
   ASSERT_TRUE(db->CreateTable("t", Schema(3), SmallConfig()).ok());
   Table* t = db->GetTable("t");
   for (int round = 0; round < 3; ++round) {
-    Transaction txn = db->Begin();
-    ASSERT_TRUE(t->Insert(&txn, {static_cast<Value>(round), 1, 2}).ok());
-    ASSERT_TRUE(db->Commit(&txn).ok());
+    Txn txn = db->Begin();
+    ASSERT_TRUE(t->Insert(txn, {static_cast<Value>(round), 1, 2}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
     ASSERT_TRUE(db->Checkpoint().ok());
   }
   int ckpt_files = 0;

@@ -47,26 +47,26 @@ TEST(DatabaseTest, CrossTableTransactionCommitsAtomically) {
   Table* accounts = db.GetTable("accounts");
   Table* audit = db.GetTable("audit");
 
-  Transaction txn = db.Begin();
-  ASSERT_TRUE(accounts->Insert(&txn, {1, 500}).ok());
-  ASSERT_TRUE(audit->Insert(&txn, {100, 1}).ok());
+  Txn txn = db.Begin();
+  ASSERT_TRUE(accounts->Insert(txn, {1, 500}).ok());
+  ASSERT_TRUE(audit->Insert(txn, {100, 1}).ok());
 
   // Before commit: invisible in BOTH tables.
-  Transaction peek = db.Begin();
+  Txn peek = db.Begin();
   std::vector<Value> out;
-  EXPECT_TRUE(accounts->Read(&peek, 1, 0b11, &out).IsNotFound());
-  EXPECT_TRUE(audit->Read(&peek, 100, 0b11, &out).IsNotFound());
-  ASSERT_TRUE(db.Commit(&peek).ok());
+  EXPECT_TRUE(accounts->Read(peek, 1, 0b11, &out).IsNotFound());
+  EXPECT_TRUE(audit->Read(peek, 100, 0b11, &out).IsNotFound());
+  ASSERT_TRUE(peek.Commit().ok());
 
-  ASSERT_TRUE(db.Commit(&txn).ok());
+  ASSERT_TRUE(txn.Commit().ok());
 
   // After commit: visible in BOTH.
-  Transaction check = db.Begin();
-  EXPECT_TRUE(accounts->Read(&check, 1, 0b11, &out).ok());
+  Txn check = db.Begin();
+  EXPECT_TRUE(accounts->Read(check, 1, 0b11, &out).ok());
   EXPECT_EQ(out[1], 500u);
-  EXPECT_TRUE(audit->Read(&check, 100, 0b11, &out).ok());
+  EXPECT_TRUE(audit->Read(check, 100, 0b11, &out).ok());
   EXPECT_EQ(out[1], 1u);
-  ASSERT_TRUE(db.Commit(&check).ok());
+  ASSERT_TRUE(check.Commit().ok());
 }
 
 TEST(DatabaseTest, CrossTableAbortRollsBackEverything) {
@@ -76,23 +76,23 @@ TEST(DatabaseTest, CrossTableAbortRollsBackEverything) {
   Table* a = db.GetTable("a");
   Table* b = db.GetTable("b");
   {
-    Transaction setup = db.Begin();
-    ASSERT_TRUE(a->Insert(&setup, {1, 10}).ok());
-    ASSERT_TRUE(b->Insert(&setup, {1, 20}).ok());
-    ASSERT_TRUE(db.Commit(&setup).ok());
+    Txn setup = db.Begin();
+    ASSERT_TRUE(a->Insert(setup, {1, 10}).ok());
+    ASSERT_TRUE(b->Insert(setup, {1, 20}).ok());
+    ASSERT_TRUE(setup.Commit().ok());
   }
-  Transaction txn = db.Begin();
-  ASSERT_TRUE(a->Update(&txn, 1, 0b10, {0, 11}).ok());
-  ASSERT_TRUE(b->Update(&txn, 1, 0b10, {0, 21}).ok());
-  db.Abort(&txn);
+  Txn txn = db.Begin();
+  ASSERT_TRUE(a->Update(txn, 1, 0b10, {0, 11}).ok());
+  ASSERT_TRUE(b->Update(txn, 1, 0b10, {0, 21}).ok());
+  txn.Abort();
 
-  Transaction check = db.Begin();
+  Txn check = db.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(a->Read(&check, 1, 0b10, &out).ok());
+  ASSERT_TRUE(a->Read(check, 1, 0b10, &out).ok());
   EXPECT_EQ(out[1], 10u);
-  ASSERT_TRUE(b->Read(&check, 1, 0b10, &out).ok());
+  ASSERT_TRUE(b->Read(check, 1, 0b10, &out).ok());
   EXPECT_EQ(out[1], 20u);
-  ASSERT_TRUE(db.Commit(&check).ok());
+  ASSERT_TRUE(check.Commit().ok());
 }
 
 TEST(DatabaseTest, CrossTableSerializableValidation) {
@@ -102,28 +102,28 @@ TEST(DatabaseTest, CrossTableSerializableValidation) {
   Table* a = db.GetTable("a");
   Table* b = db.GetTable("b");
   {
-    Transaction setup = db.Begin();
-    ASSERT_TRUE(a->Insert(&setup, {1, 10}).ok());
-    ASSERT_TRUE(b->Insert(&setup, {1, 20}).ok());
-    ASSERT_TRUE(db.Commit(&setup).ok());
+    Txn setup = db.Begin();
+    ASSERT_TRUE(a->Insert(setup, {1, 10}).ok());
+    ASSERT_TRUE(b->Insert(setup, {1, 20}).ok());
+    ASSERT_TRUE(setup.Commit().ok());
   }
   // t1 reads from table a; a concurrent writer invalidates that read;
   // t1's write to table b must not commit (cross-table consistency).
-  Transaction t1 = db.Begin(IsolationLevel::kSerializable);
+  Txn t1 = db.Begin(IsolationLevel::kSerializable);
   std::vector<Value> out;
-  ASSERT_TRUE(a->Read(&t1, 1, 0b10, &out).ok());
-  ASSERT_TRUE(b->Update(&t1, 1, 0b10, {0, out[1] + 100}).ok());
+  ASSERT_TRUE(a->Read(t1, 1, 0b10, &out).ok());
+  ASSERT_TRUE(b->Update(t1, 1, 0b10, {0, out[1] + 100}).ok());
 
-  Transaction t2 = db.Begin();
-  ASSERT_TRUE(a->Update(&t2, 1, 0b10, {0, 99}).ok());
-  ASSERT_TRUE(db.Commit(&t2).ok());
+  Txn t2 = db.Begin();
+  ASSERT_TRUE(a->Update(t2, 1, 0b10, {0, 99}).ok());
+  ASSERT_TRUE(t2.Commit().ok());
 
-  EXPECT_TRUE(db.Commit(&t1).IsAborted());
+  EXPECT_TRUE(t1.Commit().IsAborted());
   // b unchanged.
-  Transaction check = db.Begin();
-  ASSERT_TRUE(b->Read(&check, 1, 0b10, &out).ok());
+  Txn check = db.Begin();
+  ASSERT_TRUE(b->Read(check, 1, 0b10, &out).ok());
   EXPECT_EQ(out[1], 20u);
-  ASSERT_TRUE(db.Commit(&check).ok());
+  ASSERT_TRUE(check.Commit().ok());
 }
 
 TEST(DatabaseTest, SingleTableCommitStillWorksThroughTable) {
@@ -132,14 +132,14 @@ TEST(DatabaseTest, SingleTableCommitStillWorksThroughTable) {
   Database db;
   ASSERT_TRUE(db.CreateTable("a", Schema(2), Cfg()).ok());
   Table* a = db.GetTable("a");
-  Transaction txn = a->Begin();
-  ASSERT_TRUE(a->Insert(&txn, {5, 50}).ok());
-  ASSERT_TRUE(a->Commit(&txn).ok());
-  Transaction check = a->Begin();
+  Txn txn = a->Begin();
+  ASSERT_TRUE(a->Insert(txn, {5, 50}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn check = a->Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(a->Read(&check, 5, 0b10, &out).ok());
+  ASSERT_TRUE(a->Read(check, 5, 0b10, &out).ok());
   EXPECT_EQ(out[1], 50u);
-  ASSERT_TRUE(a->Commit(&check).ok());
+  ASSERT_TRUE(check.Commit().ok());
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "common/bitutil.h"
 #include "common/random.h"
 #include "core/row_table.h"
+#include "core/query.h"
 #include "core/table.h"
 
 namespace lstore {
@@ -72,13 +73,13 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
       r[0] = key;
       for (uint32_t c = 1; c < kCols; ++c) r[c] = rng.Uniform(100000);
       run_all([&](auto& t) {
-        Transaction txn = t.Begin();
-        Status s = t.Insert(&txn, r);
+        Txn txn = t.Begin();
+        Status s = t.Insert(txn, r);
         if (!s.ok()) {
-          t.Abort(&txn);
+          txn.Abort();
           return s;
         }
-        return t.Commit(&txn);
+        return txn.Commit();
       });
       model[key] = r;
     } else if (op < 75) {
@@ -93,13 +94,13 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
       for (BitIter it(mask); it; ++it) r[*it] = rng.Uniform(100000);
       bool exists = model.count(key) > 0;
       run_all([&](auto& t) {
-        Transaction txn = t.Begin();
-        Status s = t.Update(&txn, key, mask, r);
+        Txn txn = t.Begin();
+        Status s = t.Update(txn, key, mask, r);
         if (!s.ok()) {
-          t.Abort(&txn);
+          txn.Abort();
           return s;
         }
-        return t.Commit(&txn);
+        return txn.Commit();
       });
       if (exists) {
         for (BitIter it(mask); it; ++it) model[key][*it] = r[*it];
@@ -108,13 +109,13 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
       // Delete: all engines agree, including on double-deletes.
       Value key = rng.Uniform(next_key);
       run_all([&](auto& t) {
-        Transaction txn = t.Begin();
-        Status s = t.Delete(&txn, key);
+        Txn txn = t.Begin();
+        Status s = t.Delete(txn, key);
         if (!s.ok()) {
-          t.Abort(&txn);
+          txn.Abort();
           return s;
         }
-        return t.Commit(&txn);
+        return txn.Commit();
       });
       model.erase(key);
     } else if (op < 85) {
@@ -122,9 +123,9 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
       Value key = rng.Uniform(next_key);
       std::vector<Value> r(kCols, rng.Uniform(100000));
       run_all([&](auto& t) {
-        Transaction txn = t.Begin();
-        Status s = t.Update(&txn, key, 0b0010, r);
-        t.Abort(&txn);
+        Txn txn = t.Begin();
+        Status s = t.Update(txn, key, 0b0010, r);
+        txn.Abort();
         return s;
       });
     } else if (op < 90 && p.merge_mid_trace) {
@@ -137,19 +138,19 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
       Value key = rng.Uniform(next_key);
       auto expect = model.find(key);
       std::vector<Value> a, b, c, d;
-      Transaction ta = col.Begin();
-      Transaction tb = row.Begin();
-      Transaction tc = iuh.Begin();
-      Transaction td = dbm.Begin();
+      Txn ta = col.Begin();
+      Txn tb = row.Begin();
+      Txn tc = iuh.Begin();
+      Txn td = dbm.Begin();
       ColumnMask all = (1ull << kCols) - 1;
-      Status sa = col.Read(&ta, key, all, &a);
-      Status sb = row.Read(&tb, key, all, &b);
-      Status sc = iuh.Read(&tc, key, all, &c);
-      Status sd = dbm.Read(&td, key, all, &d);
-      (void)col.Commit(&ta);
-      (void)row.Commit(&tb);
-      (void)iuh.Commit(&tc);
-      (void)dbm.Commit(&td);
+      Status sa = col.Read(ta, key, all, &a);
+      Status sb = row.Read(tb, key, all, &b);
+      Status sc = iuh.Read(tc, key, all, &c);
+      Status sd = dbm.Read(td, key, all, &d);
+      (void)ta.Commit();
+      (void)tb.Commit();
+      (void)tc.Commit();
+      (void)td.Commit();
       if (expect == model.end()) {
         EXPECT_TRUE(sa.IsNotFound());
         EXPECT_TRUE(sb.IsNotFound());
@@ -169,15 +170,10 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
   uint64_t expect_sum = 0;
   for (const auto& [k, r] : model) expect_sum += r[1];
   uint64_t sums[4] = {0, 0, 0, 0};
-  ASSERT_TRUE(col.SumColumnRange(1, col.txn_manager().clock().Tick(), 0,
-                                 col.num_rows(), &sums[0])
-                  .ok());
-  ASSERT_TRUE(row.SumColumn(1, row.txn_manager().clock().Tick(), &sums[1])
-                  .ok());
-  ASSERT_TRUE(iuh.SumColumn(1, iuh.txn_manager().clock().Tick(), &sums[2])
-                  .ok());
-  ASSERT_TRUE(dbm.SumColumn(1, dbm.txn_manager().clock().Tick(), &sums[3])
-                  .ok());
+  ASSERT_TRUE(col.NewQuery().Sum(1, &sums[0]).ok());
+  ASSERT_TRUE(row.SumColumn(1, row.Now(), &sums[1]).ok());
+  ASSERT_TRUE(iuh.SumColumn(1, iuh.Now(), &sums[2]).ok());
+  ASSERT_TRUE(dbm.SumColumn(1, dbm.Now(), &sums[3]).ok());
   EXPECT_EQ(sums[0], expect_sum) << "L-Store col scan";
   EXPECT_EQ(sums[1], expect_sum) << "L-Store row scan";
   EXPECT_EQ(sums[2], expect_sum) << "IUH scan";
@@ -186,9 +182,7 @@ TEST_P(EngineEquivalence, AllEnginesMatchReferenceModel) {
   // And after a full merge everywhere, scans still agree.
   col.FlushAll();
   uint64_t after = 0;
-  ASSERT_TRUE(col.SumColumnRange(1, col.txn_manager().clock().Tick(), 0,
-                                 col.num_rows(), &after)
-                  .ok());
+  ASSERT_TRUE(col.NewQuery().Sum(1, &after).ok());
   EXPECT_EQ(after, expect_sum);
 }
 

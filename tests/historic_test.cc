@@ -103,20 +103,20 @@ TEST(HistoricStoreTest, DeltaCompressionShrinksSimilarVersions) {
 class TableHistoricTest : public ::testing::Test {
  protected:
   TableHistoricTest() : table_("h", Schema(4), Config()) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < 32; ++k) {
-      EXPECT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100, k * 1000}).ok());
+      EXPECT_TRUE(table_.Insert(txn, {k, k * 10, k * 100, k * 1000}).ok());
     }
-    EXPECT_TRUE(table_.Commit(&txn).ok());
+    EXPECT_TRUE(txn.Commit().ok());
     EXPECT_TRUE(table_.InsertMergeNow(0));
   }
 
   void UpdateKey(Value key, Value v) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     std::vector<Value> row(4, 0);
     row[1] = v;
-    ASSERT_TRUE(table_.Update(&txn, key, 0b0010, row).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    ASSERT_TRUE(table_.Update(txn, key, 0b0010, row).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
 
   Table table_;
@@ -150,10 +150,10 @@ TEST_F(TableHistoricTest, TimeTravelThroughCompressedHistory) {
     EXPECT_EQ(out[1], static_cast<Value>(100 + i)) << "as-of " << i;
   }
   // Latest reads are unaffected.
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Read(&txn, 2, 0b0010, &out).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Read(txn, 2, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 105u);
-  (void)table_.Commit(&txn);
+  (void)txn.Commit();
 }
 
 TEST_F(TableHistoricTest, UpdatesContinueAfterCompression) {
@@ -162,11 +162,11 @@ TEST_F(TableHistoricTest, UpdatesContinueAfterCompression) {
   ASSERT_GT(table_.CompressHistoricNow(0), 0u);
   table_.epochs().TryReclaim();
   UpdateKey(3, 999);  // new tail records beyond the boundary
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 3, 0b0010, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 3, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 999u);
-  (void)table_.Commit(&txn);
+  (void)txn.Commit();
 }
 
 TEST_F(TableHistoricTest, SecondCompressionExtendsTheStore) {
@@ -189,9 +189,9 @@ TEST_F(TableHistoricTest, SecondCompressionExtendsTheStore) {
 TEST_F(TableHistoricTest, DeletedRecordHistoryRetained) {
   UpdateKey(5, 55);
   {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(table_.Delete(&txn, 5).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(table_.Delete(txn, 5).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   Timestamp after_delete = table_.txn_manager().clock().Tick();
   ASSERT_TRUE(table_.MergeRangeNow(0));

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/random.h"
+#include "core/query.h"
 #include "core/table.h"
 
 namespace lstore {
@@ -28,28 +29,28 @@ class MergeTest : public ::testing::Test {
   MergeTest() : table_("t", Schema(4), MergeConfig()) {}
 
   void LoadRows(uint64_t n) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < n; ++k) {
-      ASSERT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100, k * 1000}).ok());
+      ASSERT_TRUE(table_.Insert(txn, {k, k * 10, k * 100, k * 1000}).ok());
     }
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
 
   void UpdateKey(Value key, ColumnMask mask, Value v) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     std::vector<Value> row(4, 0);
     for (int c = 0; c < 4; ++c) {
       if (mask & (1ull << c)) row[c] = v;
     }
-    ASSERT_TRUE(table_.Update(&txn, key, mask, row).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    ASSERT_TRUE(table_.Update(txn, key, mask, row).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
 
   Value ReadCol(Value key, ColumnId col) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     std::vector<Value> out;
-    Status s = table_.Read(&txn, key, 1ull << col, &out);
-    (void)table_.Commit(&txn);
+    Status s = table_.Read(txn, key, 1ull << col, &out);
+    (void)txn.Commit();
     return s.ok() ? out[col] : kNull;
   }
 
@@ -72,11 +73,11 @@ TEST_F(MergeTest, InsertMergeOfPartialRangeCoversCommittedPrefix) {
   for (Value k = 0; k < 20; ++k) EXPECT_EQ(ReadCol(k, 2), k * 100);
   // Extension: more inserts then a second insert merge.
   LoadRows(0);  // no-op
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   for (Value k = 20; k < 40; ++k) {
-    ASSERT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100, k * 1000}).ok());
+    ASSERT_TRUE(table_.Insert(txn, {k, k * 10, k * 100, k * 1000}).ok());
   }
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   EXPECT_TRUE(table_.InsertMergeNow(0));
   for (Value k = 0; k < 40; ++k) EXPECT_EQ(ReadCol(k, 2), k * 100);
 }
@@ -101,10 +102,10 @@ TEST_F(MergeTest, MergeIsRelaxedOnlyCommittedPrefix) {
   ASSERT_TRUE(table_.InsertMergeNow(0));
   UpdateKey(1, 0b0010, 11);
   // An uncommitted update interrupts the committed prefix.
-  Transaction open = table_.Begin();
+  Txn open = table_.Begin();
   std::vector<Value> row(4, 0);
   row[1] = 99;
-  ASSERT_TRUE(table_.Update(&open, 2, 0b0010, row).ok());
+  ASSERT_TRUE(table_.Update(open, 2, 0b0010, row).ok());
   UpdateKey(3, 0b0010, 33);  // committed, but after the open one
   ASSERT_TRUE(table_.MergeRangeNow(0));
   uint32_t tps = table_.RangeTps(0);
@@ -113,7 +114,7 @@ TEST_F(MergeTest, MergeIsRelaxedOnlyCommittedPrefix) {
   EXPECT_EQ(ReadCol(1, 1), 11u);
   EXPECT_EQ(ReadCol(2, 1), 20u);
   EXPECT_EQ(ReadCol(3, 1), 33u);
-  ASSERT_TRUE(table_.Commit(&open).ok());
+  ASSERT_TRUE(open.Commit().ok());
   ASSERT_TRUE(table_.MergeRangeNow(0));
   EXPECT_EQ(ReadCol(2, 1), 99u);
 }
@@ -134,9 +135,9 @@ TEST_F(MergeTest, DeleteSurvivesMerge) {
   LoadRows(64);
   ASSERT_TRUE(table_.InsertMergeNow(0));
   {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(table_.Delete(&txn, 9).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(table_.Delete(txn, 9).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   ASSERT_TRUE(table_.MergeRangeNow(0));
   EXPECT_EQ(ReadCol(9, 1), kNull);  // still deleted after consolidation
@@ -148,11 +149,11 @@ TEST_F(MergeTest, AbortedUpdatesAreSkippedByMerge) {
   ASSERT_TRUE(table_.InsertMergeNow(0));
   UpdateKey(4, 0b0010, 41);
   {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     std::vector<Value> row(4, 0);
     row[1] = 666;
-    ASSERT_TRUE(table_.Update(&txn, 4, 0b0010, row).ok());
-    table_.Abort(&txn);
+    ASSERT_TRUE(table_.Update(txn, 4, 0b0010, row).ok());
+    txn.Abort();
   }
   ASSERT_TRUE(table_.MergeRangeNow(0));
   // TPS advanced past the tombstone, but the aborted value never wins.
@@ -200,12 +201,12 @@ TEST_F(MergeTest, PerColumnMergeYieldsMixedTpsDetectableState) {
   auto tps = table_.RangeColumnTps(0);
   EXPECT_GT(tps[1], tps[2]);  // inconsistent lineage across columns
   // Reads across both columns remain consistent (Theorem 2).
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 3, 0b0110, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 3, 0b0110, &out).ok());
   EXPECT_EQ(out[1], 903u);
   EXPECT_EQ(out[2], 903u);
-  (void)table_.Commit(&txn);
+  (void)txn.Commit();
   // Completing the merge equalizes the lineage.
   ASSERT_TRUE(table_.MergeRangeColumns(0, 0b0100));
   tps = table_.RangeColumnTps(0);
@@ -232,61 +233,61 @@ TEST_F(MergeTest, CumulationResetAtTpsHighWaterMark) {
   UpdateKey(2, 0b0100, 22);   // col2 (cumulative: carries col1)
   ASSERT_TRUE(table_.MergeRangeNow(0));
   UpdateKey(2, 0b1000, 23);   // col3, cumulation was reset at merge
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 2, 0b1110, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 2, 0b1110, &out).ok());
   EXPECT_EQ(out[1], 21u);
   EXPECT_EQ(out[2], 22u);
   EXPECT_EQ(out[3], 23u);
-  (void)table_.Commit(&txn);
+  (void)txn.Commit();
 }
 
 TEST_F(MergeTest, NonCumulativeModeStillCorrect) {
   TableConfig cfg = MergeConfig();
   cfg.cumulative_updates = false;
   Table t("nc", Schema(4), cfg);
-  Transaction txn = t.Begin();
-  ASSERT_TRUE(t.Insert(&txn, {1, 10, 20, 30}).ok());
-  ASSERT_TRUE(t.Commit(&txn).ok());
+  Txn txn = t.Begin();
+  ASSERT_TRUE(t.Insert(txn, {1, 10, 20, 30}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   for (Value v = 0; v < 5; ++v) {
-    Transaction u = t.Begin();
+    Txn u = t.Begin();
     std::vector<Value> row(4, 0);
     row[1] = 100 + v;
-    ASSERT_TRUE(t.Update(&u, 1, 0b0010, row).ok());
+    ASSERT_TRUE(t.Update(u, 1, 0b0010, row).ok());
     row[1] = 0;
     row[2] = 200 + v;
-    ASSERT_TRUE(t.Update(&u, 1, 0b0100, row).ok());
-    ASSERT_TRUE(t.Commit(&u).ok());
+    ASSERT_TRUE(t.Update(u, 1, 0b0100, row).ok());
+    ASSERT_TRUE(u.Commit().ok());
   }
-  Transaction r = t.Begin();
+  Txn r = t.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(t.Read(&r, 1, 0b0110, &out).ok());
+  ASSERT_TRUE(t.Read(r, 1, 0b0110, &out).ok());
   EXPECT_EQ(out[1], 104u);  // readers walk the chain without cumulation
   EXPECT_EQ(out[2], 204u);
-  (void)t.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(MergeTest, BackgroundMergeKeepsUpWithWriters) {
   TableConfig cfg = MergeConfig(/*merge_thread=*/true);
   Table t("bg", Schema(4), cfg);
-  Transaction setup = t.Begin();
+  Txn setup = t.Begin();
   for (Value k = 0; k < 128; ++k) {
-    ASSERT_TRUE(t.Insert(&setup, {k, k, k, k}).ok());
+    ASSERT_TRUE(t.Insert(setup, {k, k, k, k}).ok());
   }
-  ASSERT_TRUE(t.Commit(&setup).ok());
+  ASSERT_TRUE(setup.Commit().ok());
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     Random rng(3);
     int i = 0;
     while (!stop.load()) {
-      Transaction txn = t.Begin();
+      Txn txn = t.Begin();
       std::vector<Value> row(4, 0);
       row[1] = ++i;
       Value key = rng.Uniform(128);
-      if (t.Update(&txn, key, 0b0010, row).ok()) {
-        (void)t.Commit(&txn);
+      if (t.Update(txn, key, 0b0010, row).ok()) {
+        (void)txn.Commit();
       } else {
-        t.Abort(&txn);
+        txn.Abort();
       }
     }
   });
@@ -297,10 +298,10 @@ TEST_F(MergeTest, BackgroundMergeKeepsUpWithWriters) {
   EXPECT_GT(t.stats().merges.load() + t.stats().insert_merges.load(), 0u);
   // Table remains fully readable.
   for (Value k = 0; k < 128; ++k) {
-    Transaction txn = t.Begin();
+    Txn txn = t.Begin();
     std::vector<Value> out;
-    EXPECT_TRUE(t.Read(&txn, k, 0b0001, &out).ok());
-    (void)t.Commit(&txn);
+    EXPECT_TRUE(t.Read(txn, k, 0b0001, &out).ok());
+    (void)txn.Commit();
   }
 }
 
@@ -331,40 +332,38 @@ TEST_P(MergeEquivalence, MergedViewMatchesUnmergedView) {
   Random rng(p.rows * 31 + p.updates);
 
   for (Table* t : {&merged, &plain}) {
-    Transaction txn = t->Begin();
+    Txn txn = t->Begin();
     for (Value k = 0; k < p.rows; ++k) {
-      ASSERT_TRUE(t->Insert(&txn, {k, k, k, k}).ok());
+      ASSERT_TRUE(t->Insert(txn, {k, k, k, k}).ok());
     }
-    ASSERT_TRUE(t->Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   for (uint32_t i = 0; i < p.updates; ++i) {
     Value key = rng.Uniform(p.rows);
     ColumnMask mask = 1ull << (1 + rng.Uniform(3));
     Value v = rng.Uniform(100000);
     for (Table* t : {&merged, &plain}) {
-      Transaction txn = t->Begin();
+      Txn txn = t->Begin();
       std::vector<Value> row(4, v);
-      ASSERT_TRUE(t->Update(&txn, key, mask, row).ok());
-      ASSERT_TRUE(t->Commit(&txn).ok());
+      ASSERT_TRUE(t->Update(txn, key, mask, row).ok());
+      ASSERT_TRUE(txn.Commit().ok());
     }
   }
   merged.FlushAll();
   for (Value k = 0; k < p.rows; ++k) {
-    Transaction tm = merged.Begin();
-    Transaction tp = plain.Begin();
+    Txn tm = merged.Begin();
+    Txn tp = plain.Begin();
     std::vector<Value> a, b;
-    ASSERT_TRUE(merged.Read(&tm, k, 0b1111, &a).ok());
-    ASSERT_TRUE(plain.Read(&tp, k, 0b1111, &b).ok());
+    ASSERT_TRUE(merged.Read(tm, k, 0b1111, &a).ok());
+    ASSERT_TRUE(plain.Read(tp, k, 0b1111, &b).ok());
     EXPECT_EQ(a, b) << "key " << k;
-    (void)merged.Commit(&tm);
-    (void)plain.Commit(&tp);
+    (void)tm.Commit();
+    (void)tp.Commit();
   }
   // Scans agree too.
   uint64_t sm = 0, sp = 0;
-  Timestamp now_m = merged.txn_manager().clock().Tick();
-  Timestamp now_p = plain.txn_manager().clock().Tick();
-  ASSERT_TRUE(merged.SumColumnRange(1, now_m, 0, p.rows, &sm).ok());
-  ASSERT_TRUE(plain.SumColumnRange(1, now_p, 0, p.rows, &sp).ok());
+  ASSERT_TRUE(merged.NewQuery().Sum(1, &sm).ok());
+  ASSERT_TRUE(plain.NewQuery().Sum(1, &sp).ok());
   EXPECT_EQ(sm, sp);
 }
 

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/random.h"
+#include "core/query.h"
 #include "core/table.h"
 
 namespace lstore {
@@ -46,11 +47,11 @@ TEST_P(MvccProperty, NoDirtyOrTornReads) {
   const PropertyCase& p = GetParam();
   Table table("t", Schema(3), MakeConfig(p));
   {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
     for (Value k = 0; k < p.rows; ++k) {
-      ASSERT_TRUE(table.Insert(&txn, {k, 0, 0}).ok());
+      ASSERT_TRUE(table.Insert(txn, {k, 0, 0}).ok());
     }
-    ASSERT_TRUE(table.Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   std::atomic<bool> stop{false};
   std::atomic<bool> violation{false};
@@ -59,25 +60,25 @@ TEST_P(MvccProperty, NoDirtyOrTornReads) {
     threads.emplace_back([&, t] {
       Random rng(100 + t);
       while (!stop.load()) {
-        Transaction txn = table.Begin();
+        Txn txn = table.Begin();
         Value key = rng.Uniform(p.rows);
         // Write a non-multiple first, then fix it before committing:
         // intermediate state must never leak.
         std::vector<Value> row(3, 0);
         row[1] = rng.Uniform(1000) * 1000 + 7;  // dirty value
-        if (!table.Update(&txn, key, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, key, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
         row[1] = rng.Uniform(1000) * 1000;  // clean value
-        if (!table.Update(&txn, key, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, key, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
         if (rng.Percent(20)) {
-          table.Abort(&txn);  // aborted txns leak nothing either
+          txn.Abort();  // aborted txns leak nothing either
         } else {
-          (void)table.Commit(&txn);
+          (void)txn.Commit();
         }
       }
     });
@@ -87,13 +88,13 @@ TEST_P(MvccProperty, NoDirtyOrTornReads) {
                   std::chrono::milliseconds(p.duration_ms);
   Random rng(7);
   while (std::chrono::steady_clock::now() < deadline) {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
     std::vector<Value> out;
     Value key = rng.Uniform(p.rows);
-    if (table.Read(&txn, key, 0b010, &out).ok()) {
+    if (table.Read(txn, key, 0b010, &out).ok()) {
       if (out[1] % 1000 != 0) violation = true;
     }
-    (void)table.Commit(&txn);
+    (void)txn.Commit();
   }
   stop = true;
   for (auto& th : threads) th.join();
@@ -107,11 +108,11 @@ TEST_P(MvccProperty, SnapshotSumConservation) {
   Table table("t", Schema(3), MakeConfig(p));
   constexpr Value kInitial = 10000;
   {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
     for (Value k = 0; k < p.rows; ++k) {
-      ASSERT_TRUE(table.Insert(&txn, {k, kInitial, 0}).ok());
+      ASSERT_TRUE(table.Insert(txn, {k, kInitial, 0}).ok());
     }
-    ASSERT_TRUE(table.Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   const uint64_t expected = p.rows * kInitial;
   std::atomic<bool> stop{false};
@@ -123,30 +124,30 @@ TEST_P(MvccProperty, SnapshotSumConservation) {
       while (!stop.load()) {
         Value from = rng.Uniform(p.rows), to = rng.Uniform(p.rows);
         if (from == to) continue;
-        Transaction txn = table.Begin(IsolationLevel::kSerializable);
+        Txn txn = table.Begin(IsolationLevel::kSerializable);
         std::vector<Value> a, b;
-        if (!table.Read(&txn, from, 0b010, &a).ok() ||
-            !table.Read(&txn, to, 0b010, &b).ok()) {
-          table.Abort(&txn);
+        if (!table.Read(txn, from, 0b010, &a).ok() ||
+            !table.Read(txn, to, 0b010, &b).ok()) {
+          txn.Abort();
           continue;
         }
         Value amount = 1 + rng.Uniform(100);
         if (a[1] < amount) {
-          table.Abort(&txn);
+          txn.Abort();
           continue;
         }
         std::vector<Value> row(3, 0);
         row[1] = a[1] - amount;
-        if (!table.Update(&txn, from, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, from, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
         row[1] = b[1] + amount;
-        if (!table.Update(&txn, to, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, to, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
-        if (table.Commit(&txn).ok()) committed.fetch_add(1);
+        if (txn.Commit().ok()) committed.fetch_add(1);
       }
     });
   }
@@ -155,8 +156,7 @@ TEST_P(MvccProperty, SnapshotSumConservation) {
   int scans = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     uint64_t sum = 0;
-    Timestamp now = table.txn_manager().clock().Tick();
-    ASSERT_TRUE(table.SumColumnRange(1, now, 0, p.rows, &sum).ok());
+    ASSERT_TRUE(table.NewQuery().Sum(1, &sum).ok());
     EXPECT_EQ(sum, expected) << "scan " << scans;
     ++scans;
   }
@@ -165,8 +165,7 @@ TEST_P(MvccProperty, SnapshotSumConservation) {
   table.WaitForMergeQueue();
   table.FlushAll();
   uint64_t final_sum = 0;
-  Timestamp now = table.txn_manager().clock().Tick();
-  ASSERT_TRUE(table.SumColumnRange(1, now, 0, p.rows, &final_sum).ok());
+  ASSERT_TRUE(table.NewQuery().Sum(1, &final_sum).ok());
   EXPECT_EQ(final_sum, expected);
   EXPECT_GT(committed.load(), 0u);
   EXPECT_GT(scans, 0);
@@ -177,11 +176,11 @@ TEST_P(MvccProperty, CommittedIncrementsNeverLost) {
   const PropertyCase& p = GetParam();
   Table table("t", Schema(3), MakeConfig(p));
   {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
     for (Value k = 0; k < p.rows; ++k) {
-      ASSERT_TRUE(table.Insert(&txn, {k, 0, 0}).ok());
+      ASSERT_TRUE(table.Insert(txn, {k, 0, 0}).ok());
     }
-    ASSERT_TRUE(table.Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_added{0};
@@ -191,20 +190,20 @@ TEST_P(MvccProperty, CommittedIncrementsNeverLost) {
       Random rng(300 + t);
       while (!stop.load()) {
         Value key = rng.Uniform(p.rows);
-        Transaction txn = table.Begin(IsolationLevel::kSerializable);
+        Txn txn = table.Begin(IsolationLevel::kSerializable);
         std::vector<Value> out;
-        if (!table.Read(&txn, key, 0b010, &out).ok()) {
-          table.Abort(&txn);
+        if (!table.Read(txn, key, 0b010, &out).ok()) {
+          txn.Abort();
           continue;
         }
         std::vector<Value> row(3, 0);
         Value inc = 1 + rng.Uniform(9);
         row[1] = out[1] + inc;
-        if (!table.Update(&txn, key, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, key, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
-        if (table.Commit(&txn).ok()) {
+        if (txn.Commit().ok()) {
           total_added.fetch_add(inc);
         }
       }
@@ -216,8 +215,7 @@ TEST_P(MvccProperty, CommittedIncrementsNeverLost) {
   table.WaitForMergeQueue();
   table.FlushAll();
   uint64_t sum = 0;
-  Timestamp now = table.txn_manager().clock().Tick();
-  ASSERT_TRUE(table.SumColumnRange(1, now, 0, p.rows, &sum).ok());
+  ASSERT_TRUE(table.NewQuery().Sum(1, &sum).ok());
   EXPECT_EQ(sum, total_added.load());
 }
 

@@ -24,28 +24,24 @@ class PaperExampleTest : public ::testing::Test {
  protected:
   PaperExampleTest() : table_("paper", Schema(4), PaperConfig()) {}
 
-  void Commit1(std::function<Status(Transaction*)> op) {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(op(&txn).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+  void Commit1(std::function<Status(Txn&)> op) {
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(op(txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
 
   void Insert(Value key, Value a, Value b, Value c) {
-    Commit1([&](Transaction* t) {
-      return table_.Insert(t, {key, a, b, c});
-    });
+    Commit1([&](Txn& t) { return table_.Insert(t, {key, a, b, c}); });
   }
   void Update(Value key, ColumnMask mask, Value a, Value b, Value c) {
-    Commit1([&](Transaction* t) {
-      return table_.Update(t, key, mask, {0, a, b, c});
-    });
+    Commit1([&](Txn& t) { return table_.Update(t, key, mask, {0, a, b, c}); });
   }
 
   std::vector<Value> ReadAll(Value key) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     std::vector<Value> out;
-    Status s = table_.Read(&txn, key, 0b1111, &out);
-    (void)table_.Commit(&txn);
+    Status s = table_.Read(txn, key, 0b1111, &out);
+    (void)txn.Commit();
     if (!s.ok()) return {};
     return out;
   }
@@ -76,7 +72,7 @@ TEST_F(PaperExampleTest, Table2UpdateAndDeleteProcedure) {
   EXPECT_EQ(table_.RangeTailLength(0), 7u);
   // Delete b1 = t8, a single tail record with no snapshot (the paper's
   // default delete design).
-  Commit1([&](Transaction* t) { return table_.Delete(t, 1); });
+  Commit1([&](Txn& t) { return table_.Delete(t, 1); });
   EXPECT_EQ(table_.RangeTailLength(0), 8u);
 
   // Resulting visible table state matches Table 2.
@@ -193,7 +189,7 @@ TEST_F(PaperExampleTest, DeleteThenMergeKeepsHistoryAccessible) {
   Insert(1, 101, 201, 301);
   ASSERT_TRUE(table_.InsertMergeNow(0));
   Timestamp before = table_.txn_manager().clock().Tick();
-  Commit1([&](Transaction* t) { return table_.Delete(t, 1); });
+  Commit1([&](Txn& t) { return table_.Delete(t, 1); });
   ASSERT_TRUE(table_.MergeRangeNow(0));
   EXPECT_TRUE(ReadAll(1).empty());
   std::vector<Value> out;

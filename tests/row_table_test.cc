@@ -21,72 +21,72 @@ TableConfig Config() {
 class RowTableTest : public ::testing::Test {
  protected:
   RowTableTest() : table_(Schema(4), Config()) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < 30; ++k) {
-      EXPECT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100, k * 1000}).ok());
+      EXPECT_TRUE(table_.Insert(txn, {k, k * 10, k * 100, k * 1000}).ok());
     }
-    EXPECT_TRUE(table_.Commit(&txn).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   }
   RowTable table_;
 };
 
 TEST_F(RowTableTest, InsertAndReadFullRow) {
-  Transaction txn = table_.Begin();
+  Txn txn = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 7, 0b1111, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 7, 0b1111, &out).ok());
   EXPECT_EQ(out, (std::vector<Value>{7, 70, 700, 7000}));
-  (void)table_.Commit(&txn);
+  (void)txn.Commit();
 }
 
 TEST_F(RowTableTest, UpdateWritesCompleteRowVersion) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 7, 0b0010, {0, 71, 0, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
-  Transaction r = table_.Begin();
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 7, 0b0010, {0, 71, 0, 0}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 7, 0b1111, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 7, 0b1111, &out).ok());
   // A row-store version is complete: untouched columns carried over.
   EXPECT_EQ(out, (std::vector<Value>{7, 71, 700, 7000}));
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(RowTableTest, DuplicateKeyRejected) {
-  Transaction txn = table_.Begin();
-  EXPECT_TRUE(table_.Insert(&txn, {7, 0, 0, 0}).IsAlreadyExists());
-  table_.Abort(&txn);
+  Txn txn = table_.Begin();
+  EXPECT_TRUE(table_.Insert(txn, {7, 0, 0, 0}).IsAlreadyExists());
+  txn.Abort();
 }
 
 TEST_F(RowTableTest, WriteWriteConflictAborts) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b0010, {0, 1, 0, 0}).ok());
-  Transaction t2 = table_.Begin();
-  EXPECT_TRUE(table_.Update(&t2, 3, 0b0010, {0, 2, 0, 0}).IsAborted());
-  table_.Abort(&t2);
-  ASSERT_TRUE(table_.Commit(&t1).ok());
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 3, 0b0010, {0, 1, 0, 0}).ok());
+  Txn t2 = table_.Begin();
+  EXPECT_TRUE(table_.Update(t2, 3, 0b0010, {0, 2, 0, 0}).IsAborted());
+  t2.Abort();
+  ASSERT_TRUE(t1.Commit().ok());
 }
 
 TEST_F(RowTableTest, AbortHidesVersion) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b0010, {0, 999, 0, 0}).ok());
-  table_.Abort(&t1);
-  Transaction r = table_.Begin();
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 3, 0b0010, {0, 999, 0, 0}).ok());
+  t1.Abort();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 3, 0b0010, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 3, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 30u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(RowTableTest, SnapshotReadStable) {
-  Transaction snap = table_.Begin(IsolationLevel::kSnapshot);
+  Txn snap = table_.Begin(IsolationLevel::kSnapshot);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&snap, 5, 0b0010, &out).ok());
+  ASSERT_TRUE(table_.Read(snap, 5, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 50u);
-  Transaction w = table_.Begin();
-  ASSERT_TRUE(table_.Update(&w, 5, 0b0010, {0, 51, 0, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&w).ok());
-  ASSERT_TRUE(table_.Read(&snap, 5, 0b0010, &out).ok());
+  Txn w = table_.Begin();
+  ASSERT_TRUE(table_.Update(w, 5, 0b0010, {0, 51, 0, 0}).ok());
+  ASSERT_TRUE(w.Commit().ok());
+  ASSERT_TRUE(table_.Read(snap, 5, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 50u);
-  (void)table_.Commit(&snap);
+  (void)snap.Commit();
 }
 
 TEST_F(RowTableTest, ScanSumsVisibleRows) {
@@ -99,9 +99,9 @@ TEST_F(RowTableTest, ScanSumsVisibleRows) {
 }
 
 TEST_F(RowTableTest, ScanReflectsUpdatesImmediately) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 0, 0b0010, {0, 5, 0, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 0, 0b0010, {0, 5, 0, 0}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   uint64_t sum = 0;
   Timestamp now = table_.txn_manager().clock().Tick();
   ASSERT_TRUE(table_.SumColumn(1, now, &sum).ok());
@@ -112,15 +112,15 @@ TEST_F(RowTableTest, ScanReflectsUpdatesImmediately) {
 
 TEST_F(RowTableTest, VersionChainAcrossManyUpdates) {
   for (Value v = 0; v < 50; ++v) {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(table_.Update(&txn, 9, 0b0100, {0, 0, v, 0}).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(table_.Update(txn, 9, 0b0100, {0, 0, v, 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
-  Transaction r = table_.Begin();
+  Txn r = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&r, 9, 0b0100, &out).ok());
+  ASSERT_TRUE(table_.Read(r, 9, 0b0100, &out).ok());
   EXPECT_EQ(out[2], 49u);
-  (void)table_.Commit(&r);
+  (void)r.Commit();
 }
 
 TEST_F(RowTableTest, ConcurrentUpdatersAndScanners) {
@@ -129,14 +129,14 @@ TEST_F(RowTableTest, ConcurrentUpdatersAndScanners) {
   std::thread writer([&] {
     Random rng(2);
     while (!stop.load()) {
-      Transaction txn = table_.Begin();
+      Txn txn = table_.Begin();
       std::vector<Value> row(4, 0);
       row[1] = rng.Uniform(1000);
-      if (table_.Update(&txn, rng.Uniform(30), 0b0010, row).ok() &&
-          table_.Commit(&txn).ok()) {
+      if (table_.Update(txn, rng.Uniform(30), 0b0010, row).ok() &&
+          txn.Commit().ok()) {
         commits.fetch_add(1);
-      } else if (!txn.finished()) {
-        table_.Abort(&txn);
+      } else {
+        txn.Abort();  // no-op if the commit already finished it
       }
     }
   });

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/random.h"
+#include "core/query.h"
 #include "core/table.h"
 
 namespace lstore {
@@ -28,17 +29,16 @@ class ScanTest : public ::testing::Test {
   static constexpr uint64_t kRows = 500;
 
   ScanTest() : table_("s", Schema(3), ScanConfig(false)) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < kRows; ++k) {
-      EXPECT_TRUE(table_.Insert(&txn, {k, 1, k}).ok());
+      EXPECT_TRUE(table_.Insert(txn, {k, 1, k}).ok());
     }
-    EXPECT_TRUE(table_.Commit(&txn).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   }
 
   uint64_t Sum(ColumnId col) {
     uint64_t sum = 0;
-    Timestamp now = table_.txn_manager().clock().Tick();
-    EXPECT_TRUE(table_.SumColumnRange(col, now, 0, kRows, &sum).ok());
+    EXPECT_TRUE(table_.NewQuery().Sum(col, &sum).ok());
     return sum;
   }
 
@@ -51,34 +51,34 @@ TEST_F(ScanTest, SumOverFreshTable) {
 }
 
 TEST_F(ScanTest, SumReflectsCommittedUpdates) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 10, 0b010, {0, 5, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 10, 0b010, {0, 5, 0}).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   EXPECT_EQ(Sum(1), kRows + 4);
 }
 
 TEST_F(ScanTest, SumIgnoresUncommittedUpdates) {
-  Transaction open = table_.Begin();
-  ASSERT_TRUE(table_.Update(&open, 10, 0b010, {0, 100, 0}).ok());
+  Txn open = table_.Begin();
+  ASSERT_TRUE(table_.Update(open, 10, 0b010, {0, 100, 0}).ok());
   EXPECT_EQ(Sum(1), kRows);
-  table_.Abort(&open);
+  open.Abort();
   EXPECT_EQ(Sum(1), kRows);
 }
 
 TEST_F(ScanTest, SumIgnoresDeletedRecords) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Delete(&txn, 42).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Delete(txn, 42).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   EXPECT_EQ(Sum(1), kRows - 1);
 }
 
 TEST_F(ScanTest, SumSameBeforeAndAfterMerge) {
   Random rng(1);
   for (int i = 0; i < 300; ++i) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     Value key = rng.Uniform(kRows);
-    ASSERT_TRUE(table_.Update(&txn, key, 0b010, {0, 1, 0}).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    ASSERT_TRUE(table_.Update(txn, key, 0b010, {0, 1, 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   uint64_t before = Sum(1);
   table_.FlushAll();
@@ -89,35 +89,49 @@ TEST_F(ScanTest, SumSameBeforeAndAfterMerge) {
 
 TEST_F(ScanTest, PartialRangeScan) {
   uint64_t sum = 0;
-  Timestamp now = table_.txn_manager().clock().Tick();
-  ASSERT_TRUE(table_.SumColumnRange(2, now, 100, 50, &sum).ok());
+  ASSERT_TRUE(table_.NewQuery().Range(100, 50).Sum(2, &sum).ok());
   uint64_t expect = 0;
   for (uint64_t k = 100; k < 150; ++k) expect += k;
   EXPECT_EQ(sum, expect);
 }
 
 TEST_F(ScanTest, SnapshotScanIsStableAgainstLaterUpdates) {
-  Timestamp snap = table_.txn_manager().clock().Tick();
+  Timestamp snap = table_.Now();
   for (Value k = 0; k < 100; ++k) {
-    Transaction txn = table_.Begin();
-    ASSERT_TRUE(table_.Update(&txn, k, 0b010, {0, 1000, 0}).ok());
-    ASSERT_TRUE(table_.Commit(&txn).ok());
+    Txn txn = table_.Begin();
+    ASSERT_TRUE(table_.Update(txn, k, 0b010, {0, 1000, 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   uint64_t sum = 0;
-  ASSERT_TRUE(table_.SumColumnRange(1, snap, 0, kRows, &sum).ok());
+  ASSERT_TRUE(table_.NewQuery().AsOf(snap).Sum(1, &sum).ok());
   EXPECT_EQ(sum, kRows);  // the old snapshot
 }
 
-TEST_F(ScanTest, ScanColumnDeliversKeys) {
+TEST_F(ScanTest, VisitDeliversKeysAndProjectedColumns) {
   uint64_t rows = 0, key_sum = 0;
-  Timestamp now = table_.txn_manager().clock().Tick();
-  ASSERT_TRUE(table_.ScanColumn(1, now, [&](Value key, Value v) {
-    ++rows;
-    key_sum += key;
-    EXPECT_EQ(v, 1u);
-  }).ok());
+  ASSERT_TRUE(table_.NewQuery()
+                  .Project(0b010)
+                  .Visit([&](Value key, const std::vector<Value>& row) {
+                    ++rows;
+                    key_sum += key;
+                    EXPECT_EQ(row[1], 1u);
+                    EXPECT_EQ(row[2], kNull);  // not projected
+                  })
+                  .ok());
   EXPECT_EQ(rows, kRows);
   EXPECT_EQ(key_sum, kRows * (kRows - 1) / 2);
+}
+
+TEST_F(ScanTest, CountAndPredicates) {
+  uint64_t n = 0;
+  ASSERT_TRUE(table_.NewQuery()
+                  .Where(2, [](Value v) { return v < 100; })
+                  .Count(&n)
+                  .ok());
+  EXPECT_EQ(n, 100u);
+  std::vector<Value> keys;
+  ASSERT_TRUE(table_.NewQuery().Where(2, Value{42}).Keys(&keys).ok());
+  EXPECT_EQ(keys, (std::vector<Value>{42}));
 }
 
 // The invariant at the heart of real-time OLAP: concurrent balanced
@@ -127,11 +141,11 @@ TEST(ScanConcurrencyTest, SumConservationUnderConcurrentTransfers) {
   constexpr uint64_t kRows = 256;
   constexpr Value kInitial = 1000;
   {
-    Transaction txn = table.Begin();
+    Txn txn = table.Begin();
     for (Value k = 0; k < kRows; ++k) {
-      ASSERT_TRUE(table.Insert(&txn, {k, kInitial, 0}).ok());
+      ASSERT_TRUE(table.Insert(txn, {k, kInitial, 0}).ok());
     }
-    ASSERT_TRUE(table.Commit(&txn).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> transfers{0};
@@ -148,25 +162,25 @@ TEST(ScanConcurrencyTest, SumConservationUnderConcurrentTransfers) {
         // Serializable: read validation rejects lost updates, which
         // read-committed would permit (and which would break the
         // conservation invariant this test checks).
-        Transaction txn = table.Begin(IsolationLevel::kSerializable);
+        Txn txn = table.Begin(IsolationLevel::kSerializable);
         std::vector<Value> a, b;
-        if (!table.Read(&txn, from, 0b010, &a).ok() ||
-            !table.Read(&txn, to, 0b010, &b).ok() || a[1] < amount) {
-          table.Abort(&txn);
+        if (!table.Read(txn, from, 0b010, &a).ok() ||
+            !table.Read(txn, to, 0b010, &b).ok() || a[1] < amount) {
+          txn.Abort();
           continue;
         }
         std::vector<Value> row(3, 0);
         row[1] = a[1] - amount;
-        if (!table.Update(&txn, from, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, from, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
         row[1] = b[1] + amount;
-        if (!table.Update(&txn, to, 0b010, row).ok()) {
-          table.Abort(&txn);
+        if (!table.Update(txn, to, 0b010, row).ok()) {
+          txn.Abort();
           continue;
         }
-        if (table.Commit(&txn).ok()) transfers.fetch_add(1);
+        if (txn.Commit().ok()) transfers.fetch_add(1);
       }
     });
   }
@@ -180,8 +194,7 @@ TEST(ScanConcurrencyTest, SumConservationUnderConcurrentTransfers) {
   while ((i < 50 || transfers.load() == 0) &&
          std::chrono::steady_clock::now() < deadline) {
     uint64_t sum = 0;
-    Timestamp now = table.txn_manager().clock().Tick();
-    ASSERT_TRUE(table.SumColumnRange(1, now, 0, kRows, &sum).ok());
+    ASSERT_TRUE(table.NewQuery().Sum(1, &sum).ok());
     EXPECT_EQ(sum, expected) << "iteration " << i;
     ++i;
     std::this_thread::yield();
@@ -193,8 +206,7 @@ TEST(ScanConcurrencyTest, SumConservationUnderConcurrentTransfers) {
   table.WaitForMergeQueue();
   table.FlushAll();
   uint64_t sum = 0;
-  Timestamp now = table.txn_manager().clock().Tick();
-  ASSERT_TRUE(table.SumColumnRange(1, now, 0, kRows, &sum).ok());
+  ASSERT_TRUE(table.NewQuery().Sum(1, &sum).ok());
   EXPECT_EQ(sum, expected);
 }
 

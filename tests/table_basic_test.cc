@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/query.h"
 #include "core/table.h"
 
 namespace lstore {
@@ -25,31 +26,31 @@ class TableBasicTest : public ::testing::Test {
 
   // Commits a single-insert transaction.
   Status InsertRow(const std::vector<Value>& row) {
-    Transaction txn = table_.Begin();
-    Status s = table_.Insert(&txn, row);
+    Txn txn = table_.Begin();
+    Status s = table_.Insert(txn, row);
     if (!s.ok()) {
-      table_.Abort(&txn);
+      txn.Abort();
       return s;
     }
-    return table_.Commit(&txn);
+    return txn.Commit();
   }
 
   Status UpdateRow(Value key, ColumnMask mask, const std::vector<Value>& row) {
-    Transaction txn = table_.Begin();
-    Status s = table_.Update(&txn, key, mask, row);
+    Txn txn = table_.Begin();
+    Status s = table_.Update(txn, key, mask, row);
     if (!s.ok()) {
-      table_.Abort(&txn);
+      txn.Abort();
       return s;
     }
-    return table_.Commit(&txn);
+    return txn.Commit();
   }
 
   std::vector<Value> ReadRow(Value key, ColumnMask mask,
                              Status* status = nullptr) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     std::vector<Value> out;
-    Status s = table_.Read(&txn, key, mask, &out);
-    (void)table_.Commit(&txn);
+    Status s = table_.Read(txn, key, mask, &out);
+    (void)txn.Commit();
     if (status != nullptr) *status = s;
     return out;
   }
@@ -111,30 +112,30 @@ TEST_F(TableBasicTest, RepeatedUpdatesSeeLatest) {
 
 TEST_F(TableBasicTest, UpdateKeyColumnRejected) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
-  Transaction txn = table_.Begin();
-  EXPECT_TRUE(table_.Update(&txn, 1, 0b0001, {9, 0, 0, 0})
+  Txn txn = table_.Begin();
+  EXPECT_TRUE(table_.Update(txn, 1, 0b0001, {9, 0, 0, 0})
                   .IsInvalidArgument());
-  table_.Abort(&txn);
+  txn.Abort();
 }
 
 TEST_F(TableBasicTest, UpdateUnknownColumnRejected) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
-  Transaction txn = table_.Begin();
-  EXPECT_TRUE(table_.Update(&txn, 1, 1ull << 40, {}).IsInvalidArgument());
-  table_.Abort(&txn);
+  Txn txn = table_.Begin();
+  EXPECT_TRUE(table_.Update(txn, 1, 1ull << 40, {}).IsInvalidArgument());
+  txn.Abort();
 }
 
 TEST_F(TableBasicTest, InsertArityMismatchRejected) {
-  Transaction txn = table_.Begin();
-  EXPECT_TRUE(table_.Insert(&txn, {1, 2}).IsInvalidArgument());
-  table_.Abort(&txn);
+  Txn txn = table_.Begin();
+  EXPECT_TRUE(table_.Insert(txn, {1, 2}).IsInvalidArgument());
+  txn.Abort();
 }
 
 TEST_F(TableBasicTest, DeleteMakesRecordInvisible) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Delete(&txn, 1).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Delete(txn, 1).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   Status s;
   ReadRow(1, 0b1111, &s);
   EXPECT_TRUE(s.IsNotFound());
@@ -142,18 +143,18 @@ TEST_F(TableBasicTest, DeleteMakesRecordInvisible) {
 
 TEST_F(TableBasicTest, UpdateAfterDeleteIsNotFound) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Delete(&txn, 1).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Delete(txn, 1).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   EXPECT_TRUE(UpdateRow(1, 0b0010, {0, 99, 0, 0}).IsNotFound());
 }
 
 TEST_F(TableBasicTest, DeletedRecordStillVisibleToOlderSnapshot) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
   Timestamp before = table_.txn_manager().clock().Tick();
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Delete(&txn, 1).ok());
-  ASSERT_TRUE(table_.Commit(&txn).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Delete(txn, 1).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   std::vector<Value> out;
   ASSERT_TRUE(table_.ReadAsOf(1, before, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 10u);
@@ -171,10 +172,10 @@ TEST_F(TableBasicTest, InsertsSpanMultipleRanges) {
 
 TEST_F(TableBasicTest, MultiStatementTransactionIsAtomicOnAbort) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 1, 0b0010, {0, 99, 0, 0}).ok());
-  ASSERT_TRUE(table_.Insert(&txn, {2, 200, 201, 202}).ok());
-  table_.Abort(&txn);
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 1, 0b0010, {0, 99, 0, 0}).ok());
+  ASSERT_TRUE(table_.Insert(txn, {2, 200, 201, 202}).ok());
+  txn.Abort();
   // Neither the update nor the insert took effect.
   EXPECT_EQ(ReadRow(1, 0b0010)[1], 10u);
   Status s;
@@ -183,37 +184,37 @@ TEST_F(TableBasicTest, MultiStatementTransactionIsAtomicOnAbort) {
 }
 
 TEST_F(TableBasicTest, AbortedInsertKeyIsReusable) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Insert(&txn, {7, 1, 2, 3}).ok());
-  table_.Abort(&txn);
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Insert(txn, {7, 1, 2, 3}).ok());
+  txn.Abort();
   EXPECT_TRUE(InsertRow({7, 4, 5, 6}).ok());
   EXPECT_EQ(ReadRow(7, 0b0010)[1], 4u);
 }
 
 TEST_F(TableBasicTest, ReadYourOwnWrites) {
   ASSERT_TRUE(InsertRow({1, 10, 20, 30}).ok());
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Update(&txn, 1, 0b0010, {0, 77, 0, 0}).ok());
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Update(txn, 1, 0b0010, {0, 77, 0, 0}).ok());
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&txn, 1, 0b0010, &out).ok());
+  ASSERT_TRUE(table_.Read(txn, 1, 0b0010, &out).ok());
   EXPECT_EQ(out[1], 77u);  // own uncommitted write visible to self
   // ... but not to others.
-  Transaction other = table_.Begin();
+  Txn other = table_.Begin();
   std::vector<Value> out2;
-  ASSERT_TRUE(table_.Read(&other, 1, 0b0010, &out2).ok());
+  ASSERT_TRUE(table_.Read(other, 1, 0b0010, &out2).ok());
   EXPECT_EQ(out2[1], 10u);
-  (void)table_.Commit(&txn);
-  (void)table_.Commit(&other);
+  (void)txn.Commit();
+  (void)other.Commit();
 }
 
 TEST_F(TableBasicTest, UncommittedInsertInvisibleToOthers) {
-  Transaction txn = table_.Begin();
-  ASSERT_TRUE(table_.Insert(&txn, {5, 1, 2, 3}).ok());
-  Transaction other = table_.Begin();
+  Txn txn = table_.Begin();
+  ASSERT_TRUE(table_.Insert(txn, {5, 1, 2, 3}).ok());
+  Txn other = table_.Begin();
   std::vector<Value> out;
-  EXPECT_TRUE(table_.Read(&other, 5, 0b1111, &out).IsNotFound());
-  (void)table_.Commit(&txn);
-  (void)table_.Commit(&other);
+  EXPECT_TRUE(table_.Read(other, 5, 0b1111, &out).IsNotFound());
+  (void)txn.Commit();
+  (void)other.Commit();
   // After commit it is visible.
   EXPECT_EQ(ReadRow(5, 0b0010)[1], 1u);
 }
@@ -258,17 +259,16 @@ TEST_F(TableBasicTest, SecondaryIndexSelectsAndReevaluates) {
     ASSERT_TRUE(InsertRow({k, k % 3, 0, 0}).ok());
   }
   table_.CreateSecondaryIndex(1);
-  Timestamp now = table_.txn_manager().clock().Tick();
-  auto keys = table_.SelectKeysWhere(1, 0, now);
+  std::vector<Value> keys;
+  ASSERT_TRUE(table_.NewQuery().Where(1, Value{0}).Keys(&keys).ok());
   EXPECT_EQ(keys, (std::vector<Value>{0, 3, 6, 9}));
   // Update key 0's value: index keeps the stale posting but the
   // predicate re-evaluation must filter it (Section 3.1).
   ASSERT_TRUE(UpdateRow(0, 0b0010, {0, 2, 0, 0}).ok());
-  now = table_.txn_manager().clock().Tick();
-  keys = table_.SelectKeysWhere(1, 0, now);
+  ASSERT_TRUE(table_.NewQuery().Where(1, Value{0}).Keys(&keys).ok());
   EXPECT_EQ(keys, (std::vector<Value>{3, 6, 9}));
   // And the new value is findable.
-  keys = table_.SelectKeysWhere(1, 2, now);
+  ASSERT_TRUE(table_.NewQuery().Where(1, Value{2}).Keys(&keys).ok());
   EXPECT_EQ(keys, (std::vector<Value>{0, 2, 5, 8}));
 }
 

@@ -63,13 +63,13 @@ TEST(TxnManagerTest, EntriesStayBoundedAcrossManyTxns) {
   // retires entries post-commit so the table cannot grow unboundedly.
   TableConfig cfg = SmallConfig();
   Table table("t", Schema(3), cfg);
-  Transaction setup = table.Begin();
-  ASSERT_TRUE(table.Insert(&setup, {1, 2, 3}).ok());
-  ASSERT_TRUE(table.Commit(&setup).ok());
+  Txn setup = table.Begin();
+  ASSERT_TRUE(table.Insert(setup, {1, 2, 3}).ok());
+  ASSERT_TRUE(setup.Commit().ok());
   for (int i = 0; i < 500; ++i) {
-    Transaction txn = table.Begin();
-    ASSERT_TRUE(table.Update(&txn, 1, 0b010, {0, Value(i), 0}).ok());
-    ASSERT_TRUE(table.Commit(&txn).ok());
+    Txn txn = table.Begin();
+    ASSERT_TRUE(table.Update(txn, 1, 0b010, {0, Value(i), 0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
   }
   EXPECT_EQ(table.txn_manager().live_entries(), 0u);
 }
@@ -77,147 +77,147 @@ TEST(TxnManagerTest, EntriesStayBoundedAcrossManyTxns) {
 class TxnTableTest : public ::testing::Test {
  protected:
   TxnTableTest() : table_("t", Schema(3), SmallConfig()) {
-    Transaction txn = table_.Begin();
+    Txn txn = table_.Begin();
     for (Value k = 0; k < 10; ++k) {
-      EXPECT_TRUE(table_.Insert(&txn, {k, k * 10, k * 100}).ok());
+      EXPECT_TRUE(table_.Insert(txn, {k, k * 10, k * 100}).ok());
     }
-    EXPECT_TRUE(table_.Commit(&txn).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   }
   Table table_;
 };
 
 TEST_F(TxnTableTest, WriteWriteConflictAbortsSecondWriter) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b010, {0, 777, 0}).ok());
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 3, 0b010, {0, 777, 0}).ok());
   // t2 hits the uncommitted version of t1.
-  Transaction t2 = table_.Begin();
-  Status s = table_.Update(&t2, 3, 0b010, {0, 888, 0});
+  Txn t2 = table_.Begin();
+  Status s = table_.Update(t2, 3, 0b010, {0, 888, 0});
   EXPECT_TRUE(s.IsAborted());
-  table_.Abort(&t2);
-  ASSERT_TRUE(table_.Commit(&t1).ok());
+  t2.Abort();
+  ASSERT_TRUE(t1.Commit().ok());
   EXPECT_GE(table_.stats().ww_aborts.load(), 1u);
 
-  Transaction t3 = table_.Begin();
+  Txn t3 = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&t3, 3, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(t3, 3, 0b010, &out).ok());
   EXPECT_EQ(out[1], 777u);
-  (void)table_.Commit(&t3);
+  (void)t3.Commit();
 }
 
 TEST_F(TxnTableTest, WriterCanStackOwnUpdates) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b010, {0, 1, 0}).ok());
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b010, {0, 2, 0}).ok());
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b100, {0, 0, 3}).ok());
-  ASSERT_TRUE(table_.Commit(&t1).ok());
-  Transaction t2 = table_.Begin();
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 3, 0b010, {0, 1, 0}).ok());
+  ASSERT_TRUE(table_.Update(t1, 3, 0b010, {0, 2, 0}).ok());
+  ASSERT_TRUE(table_.Update(t1, 3, 0b100, {0, 0, 3}).ok());
+  ASSERT_TRUE(t1.Commit().ok());
+  Txn t2 = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&t2, 3, 0b110, &out).ok());
+  ASSERT_TRUE(table_.Read(t2, 3, 0b110, &out).ok());
   EXPECT_EQ(out[1], 2u);  // only the final update is visible
   EXPECT_EQ(out[2], 3u);
-  (void)table_.Commit(&t2);
+  (void)t2.Commit();
 }
 
 TEST_F(TxnTableTest, AbortedUpdateLeavesTombstoneNotValue) {
-  Transaction t1 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t1, 3, 0b010, {0, 999, 0}).ok());
-  table_.Abort(&t1);
+  Txn t1 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t1, 3, 0b010, {0, 999, 0}).ok());
+  t1.Abort();
   // "once a value is written to tail pages, it will not be
   // over-written even if the writing transaction aborts" — readers
   // just skip the tombstone.
   EXPECT_GT(table_.RangeTailLength(0), 0u);
-  Transaction t2 = table_.Begin();
+  Txn t2 = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&t2, 3, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(t2, 3, 0b010, &out).ok());
   EXPECT_EQ(out[1], 30u);
-  (void)table_.Commit(&t2);
+  (void)t2.Commit();
   // A later writer must not conflict with the tombstone.
-  Transaction t3 = table_.Begin();
-  EXPECT_TRUE(table_.Update(&t3, 3, 0b010, {0, 31, 0}).ok());
-  EXPECT_TRUE(table_.Commit(&t3).ok());
+  Txn t3 = table_.Begin();
+  EXPECT_TRUE(table_.Update(t3, 3, 0b010, {0, 31, 0}).ok());
+  EXPECT_TRUE(t3.Commit().ok());
 }
 
 TEST_F(TxnTableTest, ReadCommittedSeesLatestCommitted) {
-  Transaction reader = table_.Begin(IsolationLevel::kReadCommitted);
+  Txn reader = table_.Begin(IsolationLevel::kReadCommitted);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&reader, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(reader, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 50u);
   // Another transaction commits mid-way.
-  Transaction writer = table_.Begin();
-  ASSERT_TRUE(table_.Update(&writer, 5, 0b010, {0, 51, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&writer).ok());
+  Txn writer = table_.Begin();
+  ASSERT_TRUE(table_.Update(writer, 5, 0b010, {0, 51, 0}).ok());
+  ASSERT_TRUE(writer.Commit().ok());
   // Read-committed sees the new value within the same transaction.
-  ASSERT_TRUE(table_.Read(&reader, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(reader, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 51u);
-  (void)table_.Commit(&reader);
+  (void)reader.Commit();
 }
 
 TEST_F(TxnTableTest, SnapshotIsolationIsStable) {
-  Transaction reader = table_.Begin(IsolationLevel::kSnapshot);
+  Txn reader = table_.Begin(IsolationLevel::kSnapshot);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&reader, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(reader, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 50u);
-  Transaction writer = table_.Begin();
-  ASSERT_TRUE(table_.Update(&writer, 5, 0b010, {0, 51, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&writer).ok());
+  Txn writer = table_.Begin();
+  ASSERT_TRUE(table_.Update(writer, 5, 0b010, {0, 51, 0}).ok());
+  ASSERT_TRUE(writer.Commit().ok());
   // Snapshot reader still sees its begin-time version.
-  ASSERT_TRUE(table_.Read(&reader, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(reader, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 50u);
-  EXPECT_TRUE(table_.Commit(&reader).ok());
+  EXPECT_TRUE(reader.Commit().ok());
 }
 
 TEST_F(TxnTableTest, SerializableValidationFailsOnChangedRead) {
-  Transaction t1 = table_.Begin(IsolationLevel::kSerializable);
+  Txn t1 = table_.Begin(IsolationLevel::kSerializable);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&t1, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(t1, 5, 0b010, &out).ok());
   // Concurrent committed write invalidates t1's read.
-  Transaction t2 = table_.Begin();
-  ASSERT_TRUE(table_.Update(&t2, 5, 0b010, {0, 555, 0}).ok());
-  ASSERT_TRUE(table_.Commit(&t2).ok());
-  EXPECT_TRUE(table_.Commit(&t1).IsAborted());
+  Txn t2 = table_.Begin();
+  ASSERT_TRUE(table_.Update(t2, 5, 0b010, {0, 555, 0}).ok());
+  ASSERT_TRUE(t2.Commit().ok());
+  EXPECT_TRUE(t1.Commit().IsAborted());
   EXPECT_GE(table_.stats().validation_aborts.load(), 1u);
 }
 
 TEST_F(TxnTableTest, SerializableValidationPassesWhenUnchanged) {
-  Transaction t1 = table_.Begin(IsolationLevel::kSerializable);
+  Txn t1 = table_.Begin(IsolationLevel::kSerializable);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&t1, 5, 0b010, &out).ok());
-  ASSERT_TRUE(table_.Read(&t1, 6, 0b010, &out).ok());
-  EXPECT_TRUE(table_.Commit(&t1).ok());
+  ASSERT_TRUE(table_.Read(t1, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(t1, 6, 0b010, &out).ok());
+  EXPECT_TRUE(t1.Commit().ok());
 }
 
 TEST_F(TxnTableTest, SerializableReadModifyWriteOfOwnKeyCommits) {
-  Transaction t1 = table_.Begin(IsolationLevel::kSerializable);
+  Txn t1 = table_.Begin(IsolationLevel::kSerializable);
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&t1, 5, 0b010, &out).ok());
-  ASSERT_TRUE(table_.Update(&t1, 5, 0b010, {0, out[1] + 1, 0}).ok());
-  ASSERT_TRUE(table_.Read(&t1, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(t1, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Update(t1, 5, 0b010, {0, out[1] + 1, 0}).ok());
+  ASSERT_TRUE(table_.Read(t1, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 51u);
-  EXPECT_TRUE(table_.Commit(&t1).ok());
+  EXPECT_TRUE(t1.Commit().ok());
 }
 
 TEST_F(TxnTableTest, SpeculativeReadSeesPreCommitAndCarriesDependency) {
-  Transaction writer = table_.Begin();
-  ASSERT_TRUE(table_.Update(&writer, 5, 0b010, {0, 1234, 0}).ok());
+  Txn writer = table_.Begin();
+  ASSERT_TRUE(table_.Update(writer, 5, 0b010, {0, 1234, 0}).ok());
   // Push writer into pre-commit without publishing.
-  table_.txn_manager().EnterPreCommit(&writer);
+  table_.txn_manager().EnterPreCommit(writer.raw());
 
-  Transaction reader = table_.Begin(IsolationLevel::kReadCommitted);
+  Txn reader = table_.Begin(IsolationLevel::kReadCommitted);
   std::vector<Value> out;
   // Normal read skips the pre-commit version...
-  ASSERT_TRUE(table_.Read(&reader, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(reader, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 50u);
   // ...speculative read observes it ([18]).
-  ASSERT_TRUE(table_.SpeculativeRead(&reader, 5, 0b010, &out).ok());
+  ASSERT_TRUE(table_.SpeculativeRead(reader, 5, 0b010, &out).ok());
   EXPECT_EQ(out[1], 1234u);
-  ASSERT_EQ(reader.commit_dependencies().size(), 1u);
-  EXPECT_EQ(reader.commit_dependencies()[0], writer.id());
+  ASSERT_EQ(reader.raw()->commit_dependencies().size(), 1u);
+  EXPECT_EQ(reader.raw()->commit_dependencies()[0], writer.id());
 
   // Finish the writer, then the reader can commit.
-  table_.txn_manager().MarkCommitted(&writer);
-  writer.set_finished();
+  table_.txn_manager().MarkCommitted(writer.raw());
+  writer.raw()->set_finished();
   table_.txn_manager().Retire(writer.id());
-  EXPECT_TRUE(table_.Commit(&reader).ok());
+  EXPECT_TRUE(reader.Commit().ok());
 }
 
 TEST_F(TxnTableTest, ConcurrentWritersSingleWinnerPerRecord) {
@@ -227,13 +227,13 @@ TEST_F(TxnTableTest, ConcurrentWritersSingleWinnerPerRecord) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kAttempts; ++i) {
-        Transaction txn = table_.Begin();
-        Status s = table_.Update(&txn, 7, 0b010,
+        Txn txn = table_.Begin();
+        Status s = table_.Update(txn, 7, 0b010,
                                  {0, Value(t * kAttempts + i), 0});
-        if (s.ok() && table_.Commit(&txn).ok()) {
+        if (s.ok() && txn.Commit().ok()) {
           commits.fetch_add(1);
         } else {
-          if (!txn.finished()) table_.Abort(&txn);
+          txn.Abort();  // no-op if already finished
           aborts.fetch_add(1);
         }
       }
@@ -243,11 +243,11 @@ TEST_F(TxnTableTest, ConcurrentWritersSingleWinnerPerRecord) {
   EXPECT_EQ(commits + aborts, static_cast<uint64_t>(kThreads * kAttempts));
   EXPECT_GT(commits.load(), 0u);
   // The final value must be one that some committed txn wrote.
-  Transaction check = table_.Begin();
+  Txn check = table_.Begin();
   std::vector<Value> out;
-  ASSERT_TRUE(table_.Read(&check, 7, 0b010, &out).ok());
+  ASSERT_TRUE(table_.Read(check, 7, 0b010, &out).ok());
   EXPECT_LT(out[1], static_cast<Value>(kThreads * kAttempts));
-  (void)table_.Commit(&check);
+  (void)check.Commit();
 }
 
 }  // namespace
