@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -45,6 +46,24 @@ inline std::vector<uint32_t> ThreadPoints() {
   }
   if (pts.empty()) pts.push_back(1);
   return pts;
+}
+
+/// Append one metric row (JSON lines) to the file named by the
+/// LSTORE_BENCH_JSON env var; no-op when unset. CI's perf-smoke job
+/// points it at BENCH_ci.json and uploads the file as an artifact, so
+/// the bench trajectory accumulates run over run.
+inline void EmitMetric(const char* bench, const std::string& metric,
+                       double value, const char* unit) {
+  const char* path = std::getenv("LSTORE_BENCH_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%.3f,"
+               "\"unit\":\"%s\",\"scale\":%llu}\n",
+               bench, metric.c_str(), value, unit,
+               static_cast<unsigned long long>(EnvScale()));
+  std::fclose(f);
 }
 
 /// Monotonic wall clock in milliseconds (durability benchmarks).

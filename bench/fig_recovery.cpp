@@ -10,10 +10,13 @@
 //   (b) Database::Open latency vs number of redo records to replay,
 //       with and without a preceding checkpoint + log truncation.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -85,6 +88,8 @@ void Run() {
                 (unsigned long long)rows, s.ok() ? 1 : 0, ckpt_ms,
                 ckpt_ms > 0 ? rows / (ckpt_ms / 1000.0) : 0.0,
                 (unsigned long long)ckpt_bytes);
+    EmitMetric("fig_recovery", "checkpoint_rows_s",
+               ckpt_ms > 0 ? rows / (ckpt_ms / 1000.0) : 0.0, "rows/s");
   }
 
   // --- (b) restart time vs redo-log length ----------------------------
@@ -107,6 +112,61 @@ void Run() {
     std::printf("restart         | %12llu %12llu %10.1f %12.0f\n",
                 (unsigned long long)updates, (unsigned long long)log_bytes,
                 open_ms, open_ms > 0 ? rows / (open_ms / 1000.0) : 0.0);
+    EmitMetric("fig_recovery",
+               "restart_ms_u" + std::to_string(updates), open_ms, "ms");
+  }
+
+  // --- (c) group commit: cross-table commit cost ----------------------
+  // One commit-log fsync (plus one fsync per touched table log) is the
+  // durability point of a cross-table transaction; concurrent
+  // committers share those fsyncs through the group-commit queue, so
+  // fsyncs-per-commit should FALL as committers are added.
+  std::printf("group_commit    | %8s %12s %14s\n", "threads", "commits_s",
+              "fsyncs_per_txn");
+  for (uint32_t threads : {1u, 4u}) {
+    std::filesystem::remove_all(dir);
+    std::atomic<uint64_t> fsyncs{0};
+    DurabilityOptions opts;
+    opts.sync_commit = true;
+    opts.group_commit_window_us = 200;
+    opts.sync_counter = &fsyncs;
+    std::unique_ptr<Database> db;
+    Status s = Database::Open(dir, opts, &db);
+    if (!s.ok()) std::exit(1);
+    (void)db->CreateTable("x", Schema(kColumns), TableConfig{});
+    (void)db->CreateTable("y", Schema(kColumns), TableConfig{});
+    const uint64_t per_thread =
+        std::max<uint64_t>(std::min<uint64_t>(rows / 50, 500), 50);
+    uint64_t fsyncs_before = fsyncs.load();
+    double t0 = WallMs();
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Table* x = db->GetTable("x");
+        Table* y = db->GetTable("y");
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          Value k = t * per_thread + i;
+          Txn txn = db->Begin();
+          std::vector<Value> row(kColumns, k);
+          (void)x->Insert(txn, row);
+          (void)y->Insert(txn, row);
+          (void)txn.Commit();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    double secs = (WallMs() - t0) / 1000.0;
+    uint64_t commits = threads * per_thread;
+    double per_txn =
+        static_cast<double>(fsyncs.load() - fsyncs_before) / commits;
+    std::printf("group_commit    | %8u %12.0f %14.2f\n", threads,
+                commits / secs, per_txn);
+    EmitMetric("fig_recovery",
+               "group_commit_txn_s_t" + std::to_string(threads),
+               commits / secs, "txns/s");
+    EmitMetric("fig_recovery",
+               "group_commit_fsyncs_per_txn_t" + std::to_string(threads),
+               per_txn, "fsyncs");
   }
 
   std::filesystem::remove_all(dir);

@@ -104,6 +104,8 @@ int main() {
     std::printf("%-34s %10.0f ops/s\n", "Read (looped)", kOps / looped);
     std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "MultiRead (batch=256)",
                 kOps / batched, looped / batched);
+    EmitMetric("micro_batch", "read_looped", kOps / looped, "ops/s");
+    EmitMetric("micro_batch", "multiread_batched", kOps / batched, "ops/s");
   }
 
   // --- InsertBatch vs looped Insert (logging ON: frame amortization) -----
@@ -141,6 +143,8 @@ int main() {
                 kOps / looped);
     std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "InsertBatch (logged)",
                 kOps / batched, looped / batched);
+    EmitMetric("micro_batch", "insert_looped", kOps / looped, "ops/s");
+    EmitMetric("micro_batch", "insertbatch", kOps / batched, "ops/s");
   }
 
   // --- UpdateBatch vs looped Update (logging ON) -------------------------
@@ -170,6 +174,8 @@ int main() {
                 1.0 / looped);
     std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "UpdateBatch (logged)",
                 1.0 / batched, looped / batched);
+    EmitMetric("micro_batch", "update_looped", 1.0 / looped, "ops/s");
+    EmitMetric("micro_batch", "updatebatch", 1.0 / batched, "ops/s");
   }
 
   // --- Parallel Query::Sum scaling on a large table ----------------------
@@ -206,6 +212,8 @@ int main() {
       }
       std::printf("%-12u %12.4f %14.0f %9.2fx\n", workers, best,
                   scan_rows / best, base / best);
+      EmitMetric("micro_batch", "query_sum_w" + std::to_string(workers),
+                 scan_rows / best, "rows/s");
       std::fflush(stdout);
     }
   }

@@ -7,10 +7,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <unordered_map>
 
 #include "checkpoint/serde.h"
+#include "core/commit_pipeline.h"
 #include "core/database.h"
 #include "core/table.h"
+#include "log/commit_log.h"
 #include "log/redo_log.h"
 #include "storage/compression/varint.h"
 
@@ -294,17 +297,50 @@ Status CheckpointManager::RunCheckpoint() {
   std::vector<std::string> new_files;
   Status status = Status::OK();
 
+  // Phase 1 — quiesce through the commit log: every table's watermark
+  // and the commit-log position are snapshotted inside the
+  // group-commit window, so no commit can be half-way through its
+  // durability sequence (some participant logs flushed, commit-log
+  // record not yet) while the watermarks are taken. The lock covers
+  // only the LSN reads — the fsyncs below run with commits flowing.
+  // Watermarks BEFORE capture: anything the capture might miss has a
+  // higher LSN and will be replayed at recovery (idempotently).
+  uint64_t commit_log_mark = 0;
+  {
+    std::unique_lock<std::mutex> quiesce;
+    if (db_->group_commit_ != nullptr) {
+      quiesce = std::unique_lock<std::mutex>(db_->group_commit_->window_mu());
+    }
+    for (auto& [name, t] : tables) {
+      ManifestEntry e;
+      e.table = name;
+      if (t->log_ != nullptr) e.log_watermark = t->log_->last_lsn();
+      e.file = "ckpt_" + std::to_string(id) + "_" + name + ".ckpt";
+      m.entries.push_back(std::move(e));
+    }
+    if (db_->commit_log_ != nullptr) {
+      commit_log_mark = db_->commit_log_->last_lsn();
+    }
+  }
+  // Make the snapshotted prefixes durable (Flush syncs everything up
+  // to and beyond the watermark; extra records are harmless).
   for (auto& [name, t] : tables) {
-    ManifestEntry e;
-    e.table = name;
-    // Watermark BEFORE capture: anything the capture might miss has a
-    // higher LSN and will be replayed at recovery (idempotently).
+    (void)name;
     if (t->log_ != nullptr) {
       status = t->log_->Flush(/*sync=*/true);
       if (!status.ok()) break;
-      e.log_watermark = t->log_->last_lsn();
     }
-    e.file = "ckpt_" + std::to_string(id) + "_" + name + ".ckpt";
+  }
+  if (status.ok() && db_->commit_log_ != nullptr) {
+    status = db_->commit_log_->Flush(/*sync=*/true);
+  }
+  if (!status.ok()) return status;
+
+  // Phase 2 — capture (commits proceed; the capture resolves
+  // in-flight outcomes through the live transaction manager).
+  for (size_t i = 0; i < tables.size(); ++i) {
+    Table* t = tables[i].second;
+    ManifestEntry& e = m.entries[i];
     status = CheckpointIO::WriteTable(*t, dir_ + "/" + e.file,
                                       &e.file_checksum);
     if (!status.ok()) {
@@ -313,7 +349,6 @@ Status CheckpointManager::RunCheckpoint() {
     }
     e.secondary_columns = t->SecondaryColumns();
     new_files.push_back(e.file);
-    m.entries.push_back(std::move(e));
   }
   if (status.ok()) status = WriteManifest(dir_, m);
   if (!status.ok()) {
@@ -333,6 +368,41 @@ Status CheckpointManager::RunCheckpoint() {
         Status ts = t->log_->TruncateTo(m.entries[i].log_watermark);
         if (!ts.ok() && status.ok()) status = ts;
       }
+    }
+    // Commit-log low-water mark: a record is covered once every
+    // participant's payloads sit at or below that table's checkpoint
+    // watermark (the capture resolved their outcomes, so the record
+    // is dead weight). Only records that existed when the watermarks
+    // were taken (lsn <= commit_log_mark) are candidates — a commit
+    // racing the capture keeps its record until the next checkpoint.
+    // Only the contiguous covered prefix is dropped, so truncated
+    // table-log prefixes can never orphan a still-needed record.
+    if (db_->commit_log_ != nullptr) {
+      std::unordered_map<std::string, uint64_t> watermarks;
+      for (const ManifestEntry& e : m.entries) {
+        watermarks[e.table] = e.log_watermark;
+      }
+      uint64_t low = 0;
+      bool stop = false;
+      Status ss = db_->commit_log_->Scan(
+          [&](const CommitLogRecord& rec, uint64_t lsn) {
+            if (stop || lsn > commit_log_mark) {
+              stop = true;
+              return;
+            }
+            for (const CommitLogRecord::Participant& p : rec.participants) {
+              auto it = watermarks.find(p.table);
+              // A participant missing from the manifest was dropped;
+              // nothing remains to recover for it.
+              if (it != watermarks.end() && p.last_lsn > it->second) {
+                stop = true;
+                return;
+              }
+            }
+            low = lsn;
+          });
+      if (ss.ok() && low > 0) ss = db_->commit_log_->TruncateTo(low);
+      if (!ss.ok() && status.ok()) status = ss;
     }
   }
 

@@ -3,14 +3,19 @@
 // checkpoint trigger.
 //
 // A checkpoint of a database directory proceeds as:
-//   1. per table: fsync the redo log and record its last LSN as the
-//      table's watermark, THEN capture the table's state (so any
-//      record missing from the capture has an LSN beyond the
-//      watermark and is replayed at recovery),
-//   2. write ckpt_<id>_<table>.ckpt files (fsynced, checksummed),
+//   1. quiesce through the database commit log: inside the
+//      group-commit window (so no commit is half-way between its
+//      table-log flushes and its commit-log flush), fsync every
+//      table's redo log and record its last LSN as the table's
+//      watermark, then fsync the commit log and record its position,
+//   2. capture each table's state and write ckpt_<id>_<table>.ckpt
+//      files (fsynced, checksummed) — any record the capture misses
+//      has an LSN beyond its watermark and is replayed at recovery,
 //   3. atomically publish MANIFEST via temp file + rename,
-//   4. truncate each redo log to its watermark (crash between 3 and 4
-//      merely leaves extra log records whose replay is idempotent),
+//   4. truncate each redo log to its watermark, then drop the commit
+//      log's covered prefix (records whose participants all sit at or
+//      below their watermarks; crash between 3 and 4 merely leaves
+//      extra log records whose replay is idempotent),
 //   5. delete the previous checkpoint's files.
 //
 // The catalog (schema + config per table) is maintained separately by

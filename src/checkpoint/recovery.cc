@@ -44,8 +44,15 @@ std::vector<ColumnId> Table::SecondaryColumns() const {
   return out;
 }
 
-Status Table::ReplayAndRebuild(uint64_t watermark) {
+Status Table::ReplayAndRebuild(
+    uint64_t watermark,
+    const std::unordered_map<TxnId, Timestamp>* db_commits) {
+  // Seed the outcome map with the database commit log's verdicts:
+  // cross-table transactions leave no commit record in this table's
+  // log, and every participant recovers against the same map, so a
+  // cross-table transaction replays on all of them or none.
   std::unordered_map<TxnId, Timestamp> commits;
+  if (db_commits != nullptr) commits = *db_commits;
   Timestamp max_time = 0;
 
   // --- step 2: replay the redo-log tail -----------------------------------
@@ -61,12 +68,13 @@ Status Table::ReplayAndRebuild(uint64_t watermark) {
               break;
             case LogRecordType::kAbort:
               // An abort record can FOLLOW a commit record of the same
-              // transaction: the pipeline appends per-table commit
-              // records first and aborts if any of them fails, so the
-              // later abort is authoritative (the in-memory commit
-              // point, the manager state flip, never happened). Txn
-              // ids are never reused, so erasing cannot drop a commit
-              // that comes later in the log.
+              // transaction (a per-table commit record whose pipeline
+              // failed later, or a commit-log record whose flush
+              // failed), so the later abort is authoritative: the
+              // in-memory commit point, the manager state flip, never
+              // happened and the client saw the abort. Txn ids are
+              // never reused, so erasing cannot drop a commit that
+              // comes later in the log.
               commits.erase(rec.txn_id);
               break;
             case LogRecordType::kTailAppend:
@@ -221,9 +229,10 @@ Status Table::ReplayAndRebuild(uint64_t watermark) {
   return Status::OK();
 }
 
-Status Table::RecoverDurable(const std::string& checkpoint_file,
-                             uint64_t log_watermark,
-                             uint64_t checkpoint_checksum) {
+Status Table::RecoverDurable(
+    const std::string& checkpoint_file, uint64_t log_watermark,
+    uint64_t checkpoint_checksum,
+    const std::unordered_map<TxnId, Timestamp>* db_commits) {
   // Replay must not race our own appender; close first.
   if (log_ != nullptr) log_->Close();
 
@@ -231,11 +240,12 @@ Status Table::RecoverDurable(const std::string& checkpoint_file,
     LSTORE_RETURN_IF_ERROR(
         CheckpointIO::LoadTable(this, checkpoint_file, checkpoint_checksum));
   }
-  LSTORE_RETURN_IF_ERROR(ReplayAndRebuild(log_watermark));
+  LSTORE_RETURN_IF_ERROR(ReplayAndRebuild(log_watermark, db_commits));
 
   // Resume logging (append mode).
   if (config_.enable_logging && !config_.log_path.empty()) {
     log_ = std::make_unique<RedoLog>();
+    log_->set_sync_counter(config_.sync_counter);
     LSTORE_RETURN_IF_ERROR(log_->Open(config_.log_path, /*truncate=*/false));
   }
   return Status::OK();

@@ -8,6 +8,7 @@
 #ifndef LSTORE_COMMON_CONFIG_H_
 #define LSTORE_COMMON_CONFIG_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -63,6 +64,10 @@ struct TableConfig {
 
   /// fsync the log on commit (group commit still batches writes).
   bool sync_commit = false;
+
+  /// Test hook: counts every Flush(sync=true) fsync of this table's
+  /// redo log (nullptr = off). Not persisted to the catalog.
+  std::atomic<uint64_t>* sync_counter = nullptr;
 };
 
 /// Durability knobs of a database directory (Section 5.1.3). A durable
@@ -84,6 +89,17 @@ struct DurabilityOptions {
   /// Background checkpoint thread: take a checkpoint once the total
   /// redo-log bytes across tables exceed this (0 = no size trigger).
   uint64_t checkpoint_log_bytes = 0;
+
+  /// Group commit: how long a lone leader waits (microseconds) for
+  /// concurrent committers to join its batch before flushing. 0 =
+  /// no explicit wait; batching still happens naturally while a
+  /// leader's flush is in flight.
+  uint64_t group_commit_window_us = 0;
+
+  /// Test hook: counts every commit-path fsync (commit log and every
+  /// table redo log) so group-commit tests can assert that concurrent
+  /// committers share fsyncs (nullptr = off).
+  std::atomic<uint64_t>* sync_counter = nullptr;
 };
 
 }  // namespace lstore

@@ -1,6 +1,7 @@
 #include "core/commit_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/table.h"
 
@@ -38,8 +39,126 @@ void Participants(const Transaction& txn, const std::vector<Table*>& tables,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// GroupCommitQueue
+// ---------------------------------------------------------------------------
+
+Status GroupCommitQueue::Commit(Transaction* txn, Timestamp commit_time,
+                                const std::vector<Table*>& writers,
+                                bool cross) {
+  Request req;
+  req.writers = writers;
+  req.cross = cross;
+  if (cross) {
+    req.record.txn_id = txn->id();
+    req.record.commit_time = commit_time;
+    for (Table* t : writers) {
+      // last_lsn is an upper bound on this transaction's payload LSNs
+      // in that log (our appends are already in); a concurrent append
+      // raising it merely delays commit-log truncation.
+      req.record.participants.push_back(
+          {t->name(), t->log_->last_lsn()});
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  queue_.push_back(&req);
+  cv_.notify_all();
+  for (;;) {
+    cv_.wait(lk, [&] {
+      return req.done || (!leader_active_ && queue_.front() == &req);
+    });
+    if (req.done) return req.result;
+
+    // Become the leader. A lone leader waits up to the group-commit
+    // window for followers; wake-ups from new arrivals keep it parked
+    // until the deadline so the batch can grow.
+    leader_active_ = true;
+    if (window_us_ > 0 && queue_.size() == 1) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(window_us_);
+      while (std::chrono::steady_clock::now() < deadline) {
+        cv_.wait_until(lk, deadline);
+      }
+    }
+    std::vector<Request*> batch(queue_.begin(), queue_.end());
+    queue_.clear();
+    lk.unlock();
+
+    ProcessBatch(batch);
+
+    lk.lock();
+    for (Request* r : batch) r->done = true;
+    leader_active_ = false;
+    cv_.notify_all();
+    return req.result;
+  }
+}
+
+void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
+  std::lock_guard<std::mutex> window(window_mu_);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // 1. Flush every distinct table log touched by the batch exactly
+  // once: the payloads (and single-table commit records) of every
+  // request become durable before any commit-log record can.
+  std::vector<RedoLog*> logs;
+  for (Request* r : batch) {
+    for (Table* t : r->writers) {
+      if (std::find(logs.begin(), logs.end(), t->log_.get()) == logs.end()) {
+        logs.push_back(t->log_.get());
+      }
+    }
+  }
+  std::vector<Status> log_status(logs.size(), Status::OK());
+  for (size_t i = 0; i < logs.size(); ++i) {
+    log_status[i] = logs[i]->Flush(sync_);
+  }
+  for (Request* r : batch) {
+    for (Table* t : r->writers) {
+      size_t i = std::find(logs.begin(), logs.end(), t->log_.get()) -
+                 logs.begin();
+      if (!log_status[i].ok()) {
+        r->result = log_status[i];
+        break;
+      }
+    }
+  }
+
+  // 2. One commit-log record per surviving cross-table request; the
+  // single flush below is their shared durability point.
+  bool any_cross = false;
+  for (Request* r : batch) {
+    if (r->cross && r->result.ok()) {
+      commit_log_->Append(r->record);
+      any_cross = true;
+    }
+  }
+  if (any_cross) {
+    Status cs = commit_log_->Flush(sync_);
+    if (!cs.ok()) {
+      for (Request* r : batch) {
+        if (r->cross && r->result.ok()) r->result = cs;
+      }
+    }
+  }
+}
+
+void GroupCommitQueue::AbortCross(TxnId txn_id) {
+  CommitLogRecord rec;
+  rec.txn_id = txn_id;
+  rec.aborted = true;
+  commit_log_->Append(rec);
+  (void)commit_log_->Flush(sync_);
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
 Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
-                          const std::vector<Table*>& tables) {
+                          const std::vector<Table*>& tables,
+                          GroupCommitQueue* group) {
   if (txn->finished()) return Status::InvalidArgument("already finished");
   std::vector<Table*> readers, writers;
   Participants(*txn, tables, &readers, &writers);
@@ -57,22 +176,44 @@ Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
     }
   }
 
-  // 3. Commit record + group-commit flush in each participating log
-  // (Section 5.1.3). Read-only participants write nothing: their logs
-  // carry no records of this transaction to resolve at replay.
+  // 3. Durability point (Section 5.1.3). Read-only participants write
+  // nothing: their logs carry no records of this transaction to
+  // resolve at replay. A single logged writer keeps its per-table
+  // commit record (fast path); several logged writers commit through
+  // ONE database commit-log record — all-or-nothing across tables —
+  // and both flush through the group-commit queue when present.
+  std::vector<Table*> logged;
   for (Table* t : writers) {
-    Status s = t->WriteCommitRecord(txn, commit_time);
-    if (!s.ok()) {
-      AbortAcrossTables(tm, txn, writers);
-      return s;
+    if (t->log_ != nullptr) logged.push_back(t);
+  }
+  Status ds = Status::OK();
+  if (group != nullptr && !logged.empty()) {
+    bool cross = logged.size() > 1;
+    if (!cross) logged[0]->AppendCommitRecord(txn, commit_time);
+    ds = group->Commit(txn, commit_time, logged, cross);
+  } else {
+    for (Table* t : writers) {
+      ds = t->WriteCommitRecord(txn, commit_time);
+      if (!ds.ok()) break;
     }
   }
+  if (!ds.ok()) {
+    // A commit record may already be flushed (per-table) or appended
+    // (commit log); the abort must be durable to override it. For a
+    // cross-table transaction the authoritative abort is ONE marker in
+    // the commit log — per-table abort records could land on a subset
+    // of participants and re-split the transaction.
+    if (group != nullptr && logged.size() > 1) group->AbortCross(txn->id());
+    AbortAcrossTables(tm, txn, writers, /*durable_abort=*/true);
+    return ds;
+  }
 
-  // 4. Publish: the state flip is the commit point for all tables.
+  // 4. Publish: the state flip is the in-memory commit point for all
+  // tables (readers that race see either the entry or the stamp).
   tm.MarkCommitted(txn);
 
   // 5. Post-commit: stamp Start Time slots so the manager entry can
-  // be retired (readers that raced see either the entry or the stamp).
+  // be retired.
   for (Table* t : writers) t->StampWrites(txn, commit_time);
   tm.Retire(txn->id());
   txn->set_finished();
@@ -80,12 +221,13 @@ Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
 }
 
 void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
-                       const std::vector<Table*>& tables) {
+                       const std::vector<Table*>& tables,
+                       bool durable_abort) {
   if (txn->finished()) return;
   std::vector<Table*> readers, writers;
   Participants(*txn, tables, &readers, &writers);
   tm.MarkAborted(txn);
-  for (Table* t : writers) t->WriteAbortRecord(txn);
+  for (Table* t : writers) t->WriteAbortRecord(txn, durable_abort);
   // Tombstone the writeset (Section 5.1.3: aborted tail records are
   // only marked invalid; space is reclaimed by compression).
   for (Table* t : writers) t->StampWrites(txn, kAbortedStamp);

@@ -7,10 +7,17 @@
 #include <cerrno>
 #include <cstdio>
 
+#include <unordered_map>
+
 #include "checkpoint/checkpoint_manager.h"
 #include "core/commit_pipeline.h"
+#include "log/commit_log.h"
 
 namespace lstore {
+
+/// Database commit-log file name. Table logs are "<name>.log", so no
+/// table name can collide with it.
+static constexpr char kCommitLogFile[] = "COMMIT_LOG";
 
 Database::Database() = default;
 
@@ -33,8 +40,11 @@ Status Database::CreateTableInternal(const std::string& name, Schema schema,
   tables_.push_back(Entry{
       name, std::make_unique<Table>(name, std::move(schema),
                                     std::move(config), &txn_manager_)});
-  // Sessions begun on this database are valid on the member table.
+  // Sessions begun on this database are valid on the member table,
+  // and commits on the member table share the database's group-commit
+  // stage (single-table sessions batch fsyncs with everyone else).
   tables_.back().table->txn_scope_ = this;
+  tables_.back().table->group_commit_ = group_commit_.get();
   if (out != nullptr) *out = tables_.back().table.get();
   return Status::OK();
 }
@@ -53,6 +63,7 @@ Status Database::CreateTable(const std::string& name, Schema schema,
     config.enable_logging = true;
     config.log_path = dir_ + "/" + name + ".log";
     config.sync_commit = durability_.sync_commit;
+    config.sync_counter = durability_.sync_counter;
     std::remove(config.log_path.c_str());
   }
   LSTORE_RETURN_IF_ERROR(
@@ -174,11 +185,36 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   bool manifest_exists = false;
   LSTORE_RETURN_IF_ERROR(ReadManifest(dir, &manifest, &manifest_exists));
 
+  // Cross-table outcomes first: a commit record here commits the
+  // transaction on EVERY participant; its absence (including a torn
+  // final record) aborts it on every participant. Every table below
+  // recovers against this one map, so no crash can split a
+  // cross-table transaction.
+  const std::string commit_log_path = dir + "/" + kCommitLogFile;
+  std::unordered_map<TxnId, Timestamp> db_commits;
+  db->commit_log_ = std::make_unique<CommitLog>();
+  db->commit_log_->set_sync_counter(opts.sync_counter);
+  LSTORE_RETURN_IF_ERROR(db->commit_log_->Open(
+      commit_log_path, /*truncate=*/false,
+      [&db_commits](const CommitLogRecord& rec, uint64_t) {
+        // A later abort marker is authoritative: it is only written
+        // when the commit record's own flush failed (the client saw
+        // the abort). Txn ids are never reused.
+        if (rec.aborted) {
+          db_commits.erase(rec.txn_id);
+        } else {
+          db_commits[rec.txn_id] = rec.commit_time;
+        }
+      }));
+  db->group_commit_ = std::make_unique<GroupCommitQueue>(
+      db->commit_log_.get(), opts.group_commit_window_us, opts.sync_commit);
+
   for (const CatalogEntry& ce : catalog) {
     TableConfig cfg = ce.config;
     cfg.enable_logging = true;
     cfg.log_path = dir + "/" + ce.name + ".log";
     cfg.sync_commit = opts.sync_commit;
+    cfg.sync_counter = opts.sync_counter;
     Table* t = nullptr;
     LSTORE_RETURN_IF_ERROR(
         db->CreateTableInternal(ce.name, Schema(ce.columns), cfg, &t));
@@ -188,11 +224,12 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
       if (e.table == ce.name) me = &e;
     }
     if (me != nullptr) {
-      LSTORE_RETURN_IF_ERROR(t->RecoverDurable(
-          dir + "/" + me->file, me->log_watermark, me->file_checksum));
+      LSTORE_RETURN_IF_ERROR(t->RecoverDurable(dir + "/" + me->file,
+                                               me->log_watermark,
+                                               me->file_checksum, &db_commits));
     } else {
       // Created after the last checkpoint: the log alone carries it.
-      LSTORE_RETURN_IF_ERROR(t->RecoverDurable("", 0));
+      LSTORE_RETURN_IF_ERROR(t->RecoverDurable("", 0, 0, &db_commits));
     }
     // Secondary indexes: union of the catalog (kept current by
     // Database::CreateSecondaryIndex) and the manifest (covers
@@ -206,6 +243,16 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
     secs.erase(std::unique(secs.begin(), secs.end()), secs.end());
     for (ColumnId col : secs) t->CreateSecondaryIndex(col);
   }
+
+  // Resume the clock beyond every cross-table commit even when no
+  // table replayed it (e.g. all tables dropped): a fresh transaction
+  // id must never collide with a retained commit-log record.
+  Timestamp max_commit = 0;
+  for (const auto& [txn, ct] : db_commits) {
+    (void)txn;
+    if (ct > max_commit) max_commit = ct;
+  }
+  if (max_commit > 0) db->txn_manager_.clock().AdvanceTo(max_commit + 1);
 
   db->checkpoint_manager_ =
       std::make_unique<CheckpointManager>(db.get(), dir, opts);
@@ -241,7 +288,7 @@ Status Database::CommitTxn(Transaction* txn) {
     SpinGuard g(latch_);
     for (auto& e : tables_) tables.push_back(e.table.get());
   }
-  return CommitAcrossTables(txn_manager_, txn, tables);
+  return CommitAcrossTables(txn_manager_, txn, tables, group_commit_.get());
 }
 
 void Database::AbortTxn(Transaction* txn) {

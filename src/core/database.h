@@ -5,10 +5,14 @@
 // through L-Store's transaction layer").
 //
 // A database opened on a directory is *durable* (Section 5.1.3):
-// every table gets a redo log under the directory, `Checkpoint()`
-// writes lineage-consistent snapshots and truncates the logs, and
-// `Open()` performs full restart recovery (catalog -> checkpoints ->
-// log-tail replay -> index/Indirection rebuild).
+// every table gets a redo log under the directory, a database-level
+// COMMIT_LOG is the single atomic commit point for cross-table
+// transactions (per-table logs carry only their payloads), a
+// group-commit queue batches the commit fsyncs of concurrent
+// committers, `Checkpoint()` writes lineage-consistent snapshots and
+// truncates the logs (including the commit log's covered prefix), and
+// `Open()` performs full restart recovery (catalog -> commit log ->
+// checkpoints -> log-tail replay -> index/Indirection rebuild).
 
 #ifndef LSTORE_CORE_DATABASE_H_
 #define LSTORE_CORE_DATABASE_H_
@@ -28,6 +32,8 @@
 namespace lstore {
 
 class CheckpointManager;
+class CommitLog;
+class GroupCommitQueue;
 
 class Database : public TxnContext {
  public:
@@ -57,6 +63,13 @@ class Database : public TxnContext {
   bool durable() const { return !dir_.empty(); }
   const std::string& directory() const { return dir_; }
   CheckpointManager* checkpoint_manager() { return checkpoint_manager_.get(); }
+
+  /// The database commit log — the single atomic commit point for
+  /// cross-table transactions (null on an in-memory database).
+  CommitLog* commit_log() { return commit_log_.get(); }
+  /// The group-commit stage shared by every commit on this database
+  /// (null on an in-memory database).
+  GroupCommitQueue* group_commit() { return group_commit_.get(); }
 
   /// Create a table registered under `name`. Fails if the name exists.
   /// On a durable database, logging is forced on (log under the
@@ -136,6 +149,9 @@ class Database : public TxnContext {
 
   std::string dir_;  ///< empty = in-memory
   DurabilityOptions durability_;
+  /// Cross-table commit point + shared fsync stage (durable only).
+  std::unique_ptr<CommitLog> commit_log_;
+  std::unique_ptr<GroupCommitQueue> group_commit_;
   // Declared last: destroyed (and therefore stopped) before tables_.
   std::unique_ptr<CheckpointManager> checkpoint_manager_;
 };

@@ -127,16 +127,13 @@ Status Query::Execute(ColumnId agg_col, const RowFn* visit, uint64_t* sum,
                   prows);
   };
 
-  ThreadPool& pool = ThreadPool::Shared();
+  // Resolve the worker count WITHOUT touching the shared pool: a
+  // serial query (explicit Workers(1), small scan, single partition)
+  // must not be the reason the process spawns its pool threads.
   uint32_t workers = workers_;
-  if (workers == 0) {
-    workers = end - begin < kMinRowsForParallel
-                  ? 1
-                  : static_cast<uint32_t>(std::min<uint64_t>(
-                        pool.num_threads() + 1, nparts));
-  }
+  if (workers == 0 && end - begin < kMinRowsForParallel) workers = 1;
 
-  if (workers <= 1 || nparts == 1) {
+  if (workers == 1 || nparts == 1) {
     EpochGuard guard(table_->epochs_);
     uint64_t lsum = 0, lrows = 0;
     for (uint64_t rid = r_begin; rid < r_end; ++rid) {
@@ -151,6 +148,11 @@ Status Query::Execute(ColumnId agg_col, const RowFn* visit, uint64_t* sum,
   // contiguous chunk of ranges, accumulates locally, and folds its
   // partial aggregate in under a mutex — identical results to the
   // sequential plan because every partition scans the same snapshot.
+  ThreadPool& pool = ThreadPool::Shared();
+  if (workers == 0) {
+    workers = static_cast<uint32_t>(
+        std::min<uint64_t>(pool.num_threads() + 1, nparts));
+  }
   uint64_t chunk = std::max<uint64_t>(1, nparts / (uint64_t{workers} * 4));
   uint64_t ntasks = (nparts + chunk - 1) / chunk;
   std::mutex fold_mu;

@@ -66,6 +66,7 @@ Table::Table(std::string name, Schema schema, TableConfig config,
   }
   if (config_.enable_logging && !config_.log_path.empty()) {
     log_ = std::make_unique<RedoLog>();
+    log_->set_sync_counter(config_.sync_counter);
     Status s = log_->Open(config_.log_path, /*truncate=*/false);
     if (!s.ok()) log_.reset();
   }
@@ -582,12 +583,17 @@ Status Table::ValidateReads(Transaction* txn, Timestamp commit_time) {
 
 Status Table::WriteCommitRecord(Transaction* txn, Timestamp commit_time) {
   if (log_ == nullptr) return Status::OK();
+  AppendCommitRecord(txn, commit_time);
+  return log_->Flush(config_.sync_commit);
+}
+
+uint64_t Table::AppendCommitRecord(Transaction* txn, Timestamp commit_time) {
+  if (log_ == nullptr) return 0;
   LogRecord rec;
   rec.type = LogRecordType::kCommit;
   rec.txn_id = txn->id();
   rec.commit_time = commit_time;
-  log_->Append(rec);
-  return log_->Flush(config_.sync_commit);
+  return log_->Append(rec);
 }
 
 void Table::StampWrites(Transaction* txn, Value outcome) {
@@ -623,28 +629,20 @@ void Table::StampWrites(Transaction* txn, Value outcome) {
 }
 
 Status Table::CommitTxn(Transaction* txn) {
-  return CommitAcrossTables(*txn_manager_, txn, {this});
+  return CommitAcrossTables(*txn_manager_, txn, {this}, group_commit_);
 }
 
 void Table::AbortTxn(Transaction* txn) {
   AbortAcrossTables(*txn_manager_, txn, {this});
 }
 
-void Table::WriteAbortRecord(Transaction* txn) {
+void Table::WriteAbortRecord(Transaction* txn, bool flush) {
   if (log_ == nullptr) return;
   LogRecord rec;
   rec.type = LogRecordType::kAbort;
   rec.txn_id = txn->id();
   log_->Append(rec);
-  // Flush with the same durability discipline as commit records: an
-  // abort can follow an already-flushed commit record of the same
-  // transaction (pipeline step 3 failed on a later table), and replay
-  // treats the later abort as authoritative — so it must not be the
-  // one record that sits in the buffer when the process dies. (A
-  // crash inside this window still splits the transaction; closing it
-  // entirely needs the single cross-table commit point tracked in
-  // ROADMAP.)
-  (void)log_->Flush(config_.sync_commit);
+  if (flush) (void)log_->Flush(config_.sync_commit);
 }
 
 // ---------------------------------------------------------------------------

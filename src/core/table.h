@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
@@ -45,11 +46,17 @@ class MergeManager;
 class HistoricStore;
 class Query;
 class Table;
+class GroupCommitQueue;
 
+// Forward declarations for the friend grants below; the public
+// surface (documentation + default arguments) lives in
+// core/commit_pipeline.h — call sites should include that header.
 Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
-                          const std::vector<Table*>& tables);
+                          const std::vector<Table*>& tables,
+                          GroupCommitQueue* group);
 void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
-                       const std::vector<Table*>& tables);
+                       const std::vector<Table*>& tables,
+                       bool durable_abort);
 
 /// Read-optimized form of one physical column of one update range,
 /// carrying its in-page lineage (Section 4.2).
@@ -250,10 +257,15 @@ class Table : public TxnContext {
   /// `log_watermark`, resolve pending transaction outcomes, and
   /// rebuild the primary index and the Indirection column from Base
   /// RID backpointers (recovery option 2). Call on a freshly
-  /// constructed, empty table.
+  /// constructed, empty table. `db_commits` carries the database
+  /// commit log's verdicts: cross-table transactions leave no commit
+  /// record in the per-table logs, so their outcome resolves from it —
+  /// on every participant or none.
   Status RecoverDurable(const std::string& checkpoint_file,
                         uint64_t log_watermark,
-                        uint64_t checkpoint_checksum = 0);
+                        uint64_t checkpoint_checksum = 0,
+                        const std::unordered_map<TxnId, Timestamp>*
+                            db_commits = nullptr);
 
   /// Columns carrying a secondary index (recorded in the checkpoint
   /// manifest so recovery can rebuild them).
@@ -265,10 +277,13 @@ class Table : public TxnContext {
   friend class CheckpointManager;  ///< log watermarks + truncation
   friend class Query;              ///< scan executor (core/query.cc)
   friend class Database;           ///< cross-table sessions share the ops
+  friend class GroupCommitQueue;   ///< flushes log_ on behalf of commits
   friend Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
-                                   const std::vector<Table*>& tables);
+                                   const std::vector<Table*>& tables,
+                                   GroupCommitQueue* group);
   friend void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
-                                const std::vector<Table*>& tables);
+                                const std::vector<Table*>& tables,
+                                bool durable_abort);
 
   // --- session plumbing (TxnContext) ---------------------------------------
 
@@ -298,11 +313,18 @@ class Table : public TxnContext {
   Status ValidateReads(Transaction* txn, Timestamp commit_time);
   /// Append + flush the commit record to this table's redo log.
   Status WriteCommitRecord(Transaction* txn, Timestamp commit_time);
-  /// Append + flush an abort record. The flush matters: an abort can
-  /// follow an already-flushed commit record of the same transaction
-  /// (pipeline failure on a later table), and replay treats the later
-  /// abort as authoritative.
-  void WriteAbortRecord(Transaction* txn);
+  /// Append the commit record WITHOUT flushing — the group-commit
+  /// queue performs the (shared) flush. Returns its LSN (0 = no log).
+  uint64_t AppendCommitRecord(Transaction* txn, Timestamp commit_time);
+  /// Append an abort record; `flush` pushes it to the OS (fsync under
+  /// sync_commit). The flush matters ONLY when the durability step
+  /// already appended/flushed a commit record for this transaction
+  /// (per-table record whose pipeline failed later, or a commit-log
+  /// record whose flush failed) — replay treats the later abort as
+  /// authoritative, so it must not sit in the buffer when the process
+  /// dies. Ordinary aborts (user abort, validation failure) skip the
+  /// flush: with no commit record anywhere, replay aborts them anyway.
+  void WriteAbortRecord(Transaction* txn, bool flush);
   /// Stamp this table's writes with the outcome (commit time or
   /// kAbortedStamp); rolls back inserted index keys on abort.
   void StampWrites(Transaction* txn, Value outcome);
@@ -426,9 +448,12 @@ class Table : public TxnContext {
   // Recovery machinery (bodies in checkpoint/recovery.cc) ---------------------
 
   /// Replay the redo log beyond `watermark`, stamp every unresolved
-  /// Start Time with its logged outcome (or the aborted tombstone),
+  /// Start Time with its logged outcome (or the aborted tombstone,
+  /// seeding the outcome map with the database commit log's verdicts),
   /// rebuild indexes + Indirection, and fast-forward the clock.
-  Status ReplayAndRebuild(uint64_t watermark);
+  Status ReplayAndRebuild(uint64_t watermark,
+                          const std::unordered_map<TxnId, Timestamp>*
+                              db_commits = nullptr);
 
   std::string name_;
   Schema schema_;
@@ -437,6 +462,11 @@ class Table : public TxnContext {
   /// The enclosing engine whose sessions are also valid here (the
   /// owning Database); set at registration, null for standalone tables.
   TxnContext* txn_scope_ = nullptr;
+
+  /// The owning database's group-commit queue: single- and cross-table
+  /// commits on this table share fsyncs through it (null for
+  /// standalone tables and in-memory databases — inline flush).
+  GroupCommitQueue* group_commit_ = nullptr;
 
   std::unique_ptr<TransactionManager> owned_txn_manager_;
   TransactionManager* txn_manager_;

@@ -1,0 +1,144 @@
+// Database-level commit log: the single atomic commit point for
+// cross-table transactions.
+//
+// The per-table redo logs carry only payload records (tail/insert
+// appends) for a cross-table transaction; whether the transaction
+// committed is decided by exactly ONE record here. The durability
+// order is: flush every participant's redo log first, then append and
+// flush the commit record — so a commit record's presence implies all
+// of its payloads are durable, and its absence (crash anywhere before
+// the commit-log flush, including a torn final record) aborts the
+// transaction on every participant at recovery. Single-table commits
+// keep their per-table commit records and never touch this log.
+//
+// Each record carries the participant tables with the redo-log LSN
+// each had reached at commit time. Checkpoint truncation uses those
+// watermarks as the low-water mark: a record whose participants are
+// all covered by the latest checkpoint is dead weight, but records are
+// only dropped from the contiguous prefix so LSN numbering stays
+// stable (same kTruncationPoint scheme as RedoLog).
+//
+// Framing matches the redo log: [payload_len varint][payload][fnv1a32].
+
+#ifndef LSTORE_LOG_COMMIT_LOG_H_
+#define LSTORE_LOG_COMMIT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lstore {
+
+/// One committed cross-table transaction — or, with `aborted` set, an
+/// abort marker: written when the commit record's own flush failed and
+/// may or may not have reached the disk, so ONE authoritative record
+/// here (not N per-table abort records) decides the outcome for every
+/// participant at recovery.
+struct CommitLogRecord {
+  TxnId txn_id = 0;
+  Timestamp commit_time = 0;
+  bool aborted = false;
+  struct Participant {
+    std::string table;       ///< table name (log files are named by it)
+    uint64_t last_lsn = 0;   ///< that table's redo-log LSN at commit
+  };
+  std::vector<Participant> participants;  ///< empty on abort markers
+};
+
+class CommitLog {
+ public:
+  struct ReplayStats {
+    uint64_t base_lsn = 0;     ///< LSN numbering base (truncation point)
+    uint64_t last_lsn = 0;     ///< LSN of the last well-formed record
+    size_t bytes_consumed = 0; ///< file prefix covered by good frames
+    bool clean_end = true;     ///< false: stopped at a torn/corrupt frame
+  };
+
+  CommitLog() = default;
+  ~CommitLog();
+
+  CommitLog(const CommitLog&) = delete;
+  CommitLog& operator=(const CommitLog&) = delete;
+
+  /// Open for appending. An existing file is scanned to restore the
+  /// LSN counter; a torn tail (crash mid-append) is truncated away —
+  /// a torn commit record never committed, on any participant.
+  /// `replay_fn` (optional) receives every well-formed record during
+  /// that same scan, so restart recovery reads the file once.
+  Status Open(const std::string& path, bool truncate,
+              const std::function<void(const CommitLogRecord&, uint64_t lsn)>&
+                  replay_fn = nullptr);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Append one commit record (buffered); returns its LSN.
+  uint64_t Append(const CommitLogRecord& rec);
+
+  /// Flush buffered records to the OS; fsync when `sync`. The fsync
+  /// that returns from here IS the commit point of every record
+  /// flushed by it.
+  Status Flush(bool sync);
+
+  uint64_t last_lsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Test hook: counts fsyncs issued by Flush(sync=true) so group
+  /// commit tests can assert fsync count < committer count.
+  void set_sync_counter(std::atomic<uint64_t>* counter) {
+    sync_counter_ = counter;
+  }
+
+  /// Deliver every well-formed record of the live log in append order
+  /// (flushes the buffer first; does not fsync).
+  Status Scan(const std::function<void(const CommitLogRecord&, uint64_t lsn)>&
+                  fn);
+
+  /// Drop every record with LSN <= watermark (the checkpoint-derived
+  /// low-water mark): the retained tail is rewritten behind a
+  /// truncation-point record via temp file + atomic rename. The commit
+  /// log is small (one record per cross-table commit since the last
+  /// checkpoint), so the rewrite runs under the log mutex.
+  Status TruncateTo(uint64_t watermark_lsn);
+
+  /// Replay a closed commit-log file, stopping cleanly at the first
+  /// torn or corrupt frame. A missing file is an empty log (OK).
+  static Status Replay(
+      const std::string& path,
+      const std::function<void(const CommitLogRecord&, uint64_t lsn)>& fn,
+      ReplayStats* stats = nullptr);
+
+  /// Serialize / deserialize one payload (exposed for tests).
+  static void EncodePayload(const CommitLogRecord& rec, std::string* out);
+  static bool DecodePayload(const char* data, size_t size,
+                            CommitLogRecord* rec);
+
+ private:
+  /// Scan `data`, invoking `fn` per good commit record with its LSN;
+  /// fills `stats`. The single source of truth for frame parsing.
+  static void ScanFrames(
+      const std::string& data,
+      const std::function<void(const CommitLogRecord&, uint64_t lsn,
+                               size_t frame_begin, size_t frame_end)>& fn,
+      ReplayStats* stats);
+
+  Status FlushBufferLocked();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::mutex mu_;
+  std::string buffer_;
+  std::atomic<uint64_t> last_lsn_{0};
+  std::atomic<uint64_t>* sync_counter_ = nullptr;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_LOG_COMMIT_LOG_H_

@@ -200,7 +200,17 @@ Status RedoLog::FlushBufferLocked() {
   if (file_ == nullptr) return Status::IOError("log not open");
   if (!buffer_.empty()) {
     size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-    if (n != buffer_.size()) return Status::IOError("short log write");
+    if (n != buffer_.size()) {
+      // Drop exactly the consumed prefix on a short write (ENOSPC):
+      // the file holds a partial frame, and a later retry must
+      // continue at the same byte — re-writing the whole buffer after
+      // the partial prefix would corrupt the log mid-file and take
+      // every LATER (acknowledged) record down with it at the next
+      // open's tail scan.
+      std::string rest(buffer_, n);
+      buffer_ = std::move(rest);
+      return Status::IOError("short log write");
+    }
     buffer_.clear();
   }
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
@@ -211,6 +221,9 @@ Status RedoLog::Flush(bool sync) {
   std::lock_guard<std::mutex> g(mu_);
   LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
   if (sync) {
+    if (sync_counter_ != nullptr) {
+      sync_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
     if (::fsync(::fileno(file_)) != 0) {
       return Status::IOError("fsync failed");
     }

@@ -116,6 +116,12 @@ class RedoLog {
   /// Flush buffered records to the OS; fsync when `sync`.
   Status Flush(bool sync);
 
+  /// Test hook: counts fsyncs issued by Flush(sync=true) so group
+  /// commit tests can assert fsync count < committer count.
+  void set_sync_counter(std::atomic<uint64_t>* counter) {
+    sync_counter_ = counter;
+  }
+
   /// Drop every record with LSN <= watermark (checkpoint truncation,
   /// Section 5.1.3): the retained tail is rewritten behind a
   /// kTruncationPoint record via temp file + atomic rename. The bulk
@@ -166,6 +172,7 @@ class RedoLog {
   std::mutex truncate_mu_;
   std::string buffer_;
   std::atomic<uint64_t> last_lsn_{0};
+  std::atomic<uint64_t>* sync_counter_ = nullptr;
 };
 
 /// FNV-1a 32-bit checksum over a byte range.
