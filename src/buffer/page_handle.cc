@@ -1,0 +1,33 @@
+#include "buffer/page_handle.h"
+
+namespace lstore {
+
+PageHandle::PageHandle(SegmentPage* page) : page_(page) {
+  if (page_ == nullptr) return;
+  // Pin BEFORE resolving: from here on the eviction sweep skips this
+  // frame, so the pointer below stays resident for the handle's life.
+  page_->pins_.fetch_add(1, std::memory_order_acq_rel);
+  BufferPool* pool = page_->pool_.load(std::memory_order_acquire);
+  if (pool != nullptr) {
+    col_ = pool->Acquire(page_);
+    return;
+  }
+  // Pool-less page: resident since construction — or a lazily
+  // restored segment on a database reopened without a pool, which
+  // hydrates on first touch and then stays resident.
+  col_ = page_->payload_.load(std::memory_order_acquire);
+  if (col_ == nullptr && page_->evictable()) {
+    bool won = false;
+    col_ = BufferPool::LoadColdPayload(page_, &won);
+  }
+}
+
+void PageHandle::Release() {
+  if (page_ != nullptr) {
+    page_->pins_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  page_ = nullptr;
+  col_ = nullptr;
+}
+
+}  // namespace lstore

@@ -1,0 +1,62 @@
+// PageHandle: RAII pin of one buffer-managed segment page.
+//
+// While the handle lives, the payload stays resident (the eviction
+// sweep skips pinned frames) and the pointer it resolved stays valid.
+// Construction demand-loads cold pages from the table's SegmentStore.
+//
+// Contract: a PageHandle must be held under an EpochGuard of the
+// owning table. The guard — which every base-data reader already
+// holds — is what makes the pin/evict race benign: a reader that pins
+// just after the evictor's pin check reads a retired-but-not-freed
+// copy of the same immutable bytes (see buffer/buffer_pool.h).
+
+#ifndef LSTORE_BUFFER_PAGE_HANDLE_H_
+#define LSTORE_BUFFER_PAGE_HANDLE_H_
+
+#include "buffer/buffer_pool.h"
+#include "common/types.h"
+#include "storage/compressed_column.h"
+
+namespace lstore {
+
+class PageHandle {
+ public:
+  PageHandle() = default;
+  explicit PageHandle(SegmentPage* page);
+  ~PageHandle() { Release(); }
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept
+      : page_(other.page_), col_(other.col_) {
+    other.page_ = nullptr;
+    other.col_ = nullptr;
+  }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      page_ = other.page_;
+      col_ = other.col_;
+      other.page_ = nullptr;
+      other.col_ = nullptr;
+    }
+    return *this;
+  }
+
+  Value Get(size_t i) const { return col_->Get(i); }
+  CompressedColumn::Cursor cursor() const { return col_->cursor(); }
+
+  const CompressedColumn* get() const { return col_; }
+  const CompressedColumn* operator->() const { return col_; }
+  explicit operator bool() const { return col_ != nullptr; }
+
+ private:
+  void Release();
+
+  SegmentPage* page_ = nullptr;
+  const CompressedColumn* col_ = nullptr;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_BUFFER_PAGE_HANDLE_H_

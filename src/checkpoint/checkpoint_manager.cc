@@ -337,12 +337,16 @@ Status CheckpointManager::RunCheckpoint() {
   if (!status.ok()) return status;
 
   // Phase 2 — capture (commits proceed; the capture resolves
-  // in-flight outcomes through the live transaction manager).
+  // in-flight outcomes through the live transaction manager). Buffer-
+  // managed segments are captured by reference into the table's
+  // segment store; the store fsync below makes every referenced byte
+  // range durable BEFORE the manifest that names it is published.
   for (size_t i = 0; i < tables.size(); ++i) {
     Table* t = tables[i].second;
     ManifestEntry& e = m.entries[i];
     status = CheckpointIO::WriteTable(*t, dir_ + "/" + e.file,
                                       &e.file_checksum);
+    if (status.ok()) status = t->SyncSegmentStore();
     if (!status.ok()) {
       std::remove((dir_ + "/" + e.file).c_str());  // drop the partial file
       break;

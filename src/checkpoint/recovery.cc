@@ -47,6 +47,11 @@ std::vector<ColumnId> Table::SecondaryColumns() const {
 Status Table::ReplayAndRebuild(
     uint64_t watermark,
     const std::unordered_map<TxnId, Timestamp>* db_commits) {
+  // Buffer-managed segments: recovery reads through pinned page
+  // handles (an already-recovered table's merge thread can evict our
+  // cold pages through the shared pool), so hold the epoch pin the
+  // handle contract requires.
+  EpochGuard guard(epochs_);
   // Seed the outcome map with the database commit log's verdicts:
   // cross-table transactions leave no commit record in this table's
   // log, and every participant recovers against the same map, so a
@@ -178,12 +183,27 @@ Status Table::ReplayAndRebuild(
     if (r == nullptr) continue;
     uint32_t occupied = r->occupied.load(std::memory_order_acquire);
     uint32_t based = r->based.load(std::memory_order_acquire);
+    // The index rebuild only needs the key and Start Time columns —
+    // pin exactly those two per range (demand-loading them at most
+    // once); every other lazily mapped column segment stays cold, so
+    // restart cost for based data is O(hot set), not O(table).
+    BaseSegment* start_seg =
+        r->base[schema_.num_columns() + kBaseStartTime].load(
+            std::memory_order_acquire);
+    BaseSegment* key_seg = r->base[0].load(std::memory_order_acquire);
+    PageHandle start_page =
+        start_seg != nullptr ? start_seg->Pin() : PageHandle();
+    PageHandle key_page = key_seg != nullptr ? key_seg->Pin() : PageHandle();
     for (uint32_t slot = 0; slot < occupied; ++slot) {
-      Value start = slot < based ? BaseMetaValue(*r, slot, kBaseStartTime)
-                                 : r->inserts.Read(slot + 1, kTailStartTime);
+      Value start =
+          (slot < based && start_seg != nullptr && slot < start_seg->num_slots)
+              ? start_page.Get(slot)
+              : r->inserts.Read(slot + 1, kTailStartTime);
       if (start == kNull || IsAbortedStamp(start) || IsTxnId(start)) continue;
       if (start > max_time) max_time = start;
-      Value key = BaseValue(*r, slot, 0);
+      Value key = (key_seg != nullptr && slot < key_seg->num_slots)
+                      ? key_page.Get(slot)
+                      : r->inserts.Read(slot + 1, kTailMetaColumns + 0);
       primary_.Insert(key, id * config_.range_size + slot);
     }
     uint32_t boundary = r->historic_boundary.load(std::memory_order_acquire);

@@ -245,16 +245,35 @@ Status CheckpointIO::WriteTable(Table& t, const std::string& path,
     }
 
     // Consolidated base segments (read-optimized columns + lineage).
+    // A segment already written through to the table's durable store
+    // is checkpointed by reference — no payload I/O, and a cold
+    // (evicted) segment is never faulted in just to checkpoint it.
+    // SyncSegmentStore() runs before the manifest is published, so
+    // every referenced byte range is durable first.
     for (uint32_t pc = 0; pc < nphys; ++pc) {
       BaseSegment* seg = r->base[pc].load(std::memory_order_acquire);
       if (seg == nullptr) continue;
+      const SegmentPage* page = seg->page.get();
+      if (page != nullptr && page->evictable() && page->store()->durable()) {
+        std::string p;
+        PutVarint64(&p, id);
+        PutVarint64(&p, pc);
+        PutVarint64(&p, seg->tps);
+        PutVarint64(&p, seg->num_slots);
+        PutVarint64(&p, page->swap_offset());
+        PutVarint64(&p, page->swap_length());
+        PutVarint64(&p, page->swap_checksum());
+        LSTORE_RETURN_IF_ERROR(w.WriteFrame(FrameType::kBaseSegmentRef, p));
+        continue;
+      }
+      PageHandle h = seg->Pin();
       std::string p;
       PutVarint64(&p, id);
       PutVarint64(&p, pc);
       PutVarint64(&p, seg->tps);
       PutVarint64(&p, seg->num_slots);
       for (uint32_t i = 0; i < seg->num_slots; ++i) {
-        PutVarint64(&p, seg->data->Get(i));
+        PutVarint64(&p, h.Get(i));
       }
       LSTORE_RETURN_IF_ERROR(w.WriteFrame(FrameType::kBaseSegment, p));
     }
@@ -411,8 +430,50 @@ Status CheckpointIO::LoadTable(Table* t, const std::string& path,
         auto* seg = new BaseSegment();
         seg->tps = static_cast<uint32_t>(tps);
         seg->num_slots = static_cast<uint32_t>(num_slots);
-        seg->data = CompressedColumn::Build(std::move(vals),
-                                            t->config_.compress_merged_pages);
+        seg->page = t->MakeSegmentPage(std::move(vals));
+        Table::Range* r = t->EnsureRange(id);
+        BaseSegment* old = r->base[pc].exchange(seg, std::memory_order_acq_rel);
+        delete old;
+        break;
+      }
+      case FrameType::kBaseSegmentRef: {
+        // Lazy restore: map the segment onto its durable store bytes
+        // without reading them — recovery cost for based data becomes
+        // O(hot set), not O(table). Bounds are validated eagerly so a
+        // truncated store fails recovery with a clean error instead of
+        // a demand-load fault later.
+        uint64_t id, pc, tps, num_slots, offset, length, crc;
+        if (!GetU64(p, &pos, &id) || !GetU64(p, &pos, &pc) ||
+            !GetU64(p, &pos, &tps) || !GetU64(p, &pos, &num_slots) ||
+            !GetU64(p, &pos, &offset) || !GetU64(p, &pos, &length) ||
+            !GetU64(p, &pos, &crc)) {
+          return Status::Corruption("bad base segment ref");
+        }
+        if (pc >= nphys) return Status::Corruption("segment column overflow");
+        if (t->segment_store_ == nullptr ||
+            !t->segment_store_->Contains(offset, length)) {
+          return Status::Corruption(
+              "checkpoint references missing segment store bytes: " + path);
+        }
+        if (t->config_.verify_segment_refs) {
+          // Opt-in eager integrity check: read the range back and
+          // compare checksums so store corruption surfaces as a clean
+          // recovery error (the segment still restores cold below).
+          std::string bytes;
+          Status vs = t->segment_store_->ReadAt(offset, length, &bytes);
+          if (!vs.ok() ||
+              Fnv1a32(bytes.data(), bytes.size()) !=
+                  static_cast<uint32_t>(crc)) {
+            return Status::Corruption(
+                "checkpoint segment reference failed verification: " + path);
+          }
+        }
+        auto* seg = new BaseSegment();
+        seg->tps = static_cast<uint32_t>(tps);
+        seg->num_slots = static_cast<uint32_t>(num_slots);
+        seg->page = t->MakeColdSegmentPage(static_cast<uint32_t>(num_slots),
+                                           offset, length,
+                                           static_cast<uint32_t>(crc));
         Table::Range* r = t->EnsureRange(id);
         BaseSegment* old = r->base[pc].exchange(seg, std::memory_order_acq_rel);
         delete old;

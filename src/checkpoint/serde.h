@@ -46,6 +46,12 @@ enum class FrameType : uint8_t {
   kCatalogEntry = 10,  ///< one table's schema + config
   kManifestHeader = 11,
   kCatalogHeader = 12,
+  /// One consolidated column stored by reference into the table's
+  /// segment store ({offset, length, checksum} instead of inline
+  /// values): written when the buffer pool already wrote the segment
+  /// through, so the checkpoint is pre-paid and recovery maps the
+  /// segment lazily instead of loading it.
+  kBaseSegmentRef = 13,
 };
 
 /// Magics carried in the kFileHeader frame.

@@ -15,6 +15,9 @@
 
 namespace lstore {
 
+class BufferPool;
+class SegmentStore;
+
 struct TableConfig {
   /// Number of records per (virtual) update range. Power of two.
   /// Paper: 2^12 .. 2^16 (Section 4.4).
@@ -68,6 +71,22 @@ struct TableConfig {
   /// Test hook: counts every Flush(sync=true) fsync of this table's
   /// redo log (nullptr = off). Not persisted to the catalog.
   std::atomic<uint64_t>* sync_counter = nullptr;
+
+  /// Buffer-managed base storage (src/buffer/): the pool that owns the
+  /// table's base-segment frames and the swap store behind them. Wired
+  /// by the owning Database (buffer_pool_bytes > 0) or by tests; both
+  /// nullptr = fully resident base pages, as before. When only the
+  /// LSTORE_BUFFER_POOL_BYTES env knob is set, a standalone table
+  /// creates an owned pool spilling to an anonymous temp file, so
+  /// every suite can be forced through the miss/evict path. Not
+  /// persisted to the catalog.
+  BufferPool* buffer_pool = nullptr;
+  SegmentStore* segment_store = nullptr;
+
+  /// Verify the checksum of every checkpoint-referenced segment-store
+  /// byte range while loading the checkpoint (wired from
+  /// DurabilityOptions::verify_segment_store_on_open).
+  bool verify_segment_refs = false;
 };
 
 /// Durability knobs of a database directory (Section 5.1.3). A durable
@@ -100,6 +119,28 @@ struct DurabilityOptions {
   /// table redo log) so group-commit tests can assert that concurrent
   /// committers share fsyncs (nullptr = off).
   std::atomic<uint64_t>* sync_counter = nullptr;
+
+  /// Byte budget of the database-wide buffer pool for read-optimized
+  /// base segments (src/buffer/buffer_pool.h). 0 = no pool: base
+  /// pages stay fully resident, exactly the pre-buffer behavior.
+  /// With a budget, merge output writes base segments through to
+  /// per-table .segs swap files, cold ranges demand-load, and a
+  /// clock sweep evicts clean cold frames over budget — so a table's
+  /// base footprint can exceed RAM. The LSTORE_BUFFER_POOL_BYTES env
+  /// knob supplies the budget when this field is 0 (CI's
+  /// memory-capped job).
+  uint64_t buffer_pool_bytes = 0;
+
+  /// Eagerly verify every segment-store byte range the checkpoint
+  /// references during Open (reads the ranges back and checks their
+  /// checksums; the segments themselves still restore lazily/cold).
+  /// Off by default: verification reads O(table) base bytes, trading
+  /// away the O(hot set) restart. When off, corruption in a .segs
+  /// file is detected at first demand-load — which is fail-stop
+  /// (abort), not a clean error, exactly like a flipped bit under an
+  /// mmap'd file. Turn this on where .segs integrity is suspect and
+  /// a clean Corruption status from Open is required.
+  bool verify_segment_store_on_open = false;
 };
 
 }  // namespace lstore

@@ -10,11 +10,19 @@ EpochManager::~EpochManager() {
 }
 
 size_t EpochManager::DrainAllUnsafe() {
-  std::lock_guard<std::mutex> g(retired_mu_);
-  size_t n = retired_.size();
-  for (auto& r : retired_) r.deleter();
-  retired_.clear();
-  return n;
+  // Swap out and run outside the lock (see TryReclaim); loop in case
+  // a deleter retires further resources.
+  size_t n = 0;
+  for (;;) {
+    std::deque<Retired> ready;
+    {
+      std::lock_guard<std::mutex> g(retired_mu_);
+      if (retired_.empty()) return n;
+      ready.swap(retired_);
+    }
+    n += ready.size();
+    for (auto& r : ready) r.deleter();
+  }
 }
 
 namespace {
@@ -92,14 +100,20 @@ uint64_t EpochManager::MinActiveEpoch() const {
 
 size_t EpochManager::TryReclaim() {
   uint64_t min_active = MinActiveEpoch();
-  size_t freed = 0;
-  std::lock_guard<std::mutex> g(retired_mu_);
-  while (!retired_.empty() && retired_.front().epoch < min_active) {
-    retired_.front().deleter();
-    retired_.pop_front();
-    ++freed;
+  // Collect under the lock, run outside it: deleters may take foreign
+  // locks (e.g. a segment page unregistering from the buffer pool,
+  // whose eviction path itself calls Retire) — running them under
+  // retired_mu_ would invert that order and deadlock.
+  std::deque<Retired> ready;
+  {
+    std::lock_guard<std::mutex> g(retired_mu_);
+    while (!retired_.empty() && retired_.front().epoch < min_active) {
+      ready.push_back(std::move(retired_.front()));
+      retired_.pop_front();
+    }
   }
-  return freed;
+  for (auto& r : ready) r.deleter();
+  return ready.size();
 }
 
 size_t EpochManager::pending() const {

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include <unordered_map>
+#include <utility>
 
 #include "checkpoint/checkpoint_manager.h"
 #include "core/commit_pipeline.h"
@@ -33,10 +34,35 @@ Database::~Database() {
 
 Status Database::CreateTableInternal(const std::string& name, Schema schema,
                                      TableConfig config, Table** out) {
+  // Buffer-managed base storage: with a pool, every table shares it
+  // and gets its own swap store under the directory. WITHOUT a pool,
+  // an existing .segs file is still opened — a database checkpointed
+  // with paging on must reopen with paging off: its lazily restored
+  // segments hydrate on first touch and then stay resident. Opening
+  // an existing file keeps previously recorded offsets valid, so a
+  // manifest that references them recovers lazily. The filesystem
+  // work runs BEFORE the registry spin latch (GetTable callers must
+  // not spin through syscalls); duplicate creations are already
+  // serialized by ddl_mu_, and on the duplicate-name path below the
+  // freshly opened handle is simply dropped.
+  std::unique_ptr<SegmentStore> store;
+  if (durable()) {
+    std::string segs_path = dir_ + "/" + name + ".segs";
+    struct ::stat st;
+    bool segs_exists = ::stat(segs_path.c_str(), &st) == 0;
+    if (buffer_pool_ != nullptr || segs_exists) {
+      store = std::make_unique<SegmentStore>();
+      LSTORE_RETURN_IF_ERROR(store->Open(segs_path));
+      config.buffer_pool = buffer_pool_.get();
+      config.segment_store = store.get();
+      config.verify_segment_refs = durability_.verify_segment_store_on_open;
+    }
+  }
   SpinGuard g(latch_);
   for (const auto& e : tables_) {
     if (e.name == name) return Status::AlreadyExists("table exists");
   }
+  if (store != nullptr) segment_stores_[name] = std::move(store);
   tables_.push_back(Entry{
       name, std::make_unique<Table>(name, std::move(schema),
                                     std::move(config), &txn_manager_)});
@@ -65,6 +91,9 @@ Status Database::CreateTable(const std::string& name, Schema schema,
     config.sync_commit = durability_.sync_commit;
     config.sync_counter = durability_.sync_counter;
     std::remove(config.log_path.c_str());
+    // A stale swap store of a previously dropped table must not be
+    // appended to: its old offsets are garbage for the new table.
+    std::remove((dir_ + "/" + name + ".segs").c_str());
   }
   LSTORE_RETURN_IF_ERROR(
       CreateTableInternal(name, std::move(schema), std::move(config), nullptr));
@@ -104,10 +133,16 @@ Status Database::DropTable(const std::string& name) {
     }
     if (!log_path.empty()) std::remove(log_path.c_str());
   }
-  SpinGuard g(latch_);
-  auto it = std::find_if(tables_.begin(), tables_.end(),
-                         [&](const Entry& e) { return e.name == name; });
-  if (it != tables_.end()) tables_.erase(it);
+  {
+    SpinGuard g(latch_);
+    auto it = std::find_if(tables_.begin(), tables_.end(),
+                           [&](const Entry& e) { return e.name == name; });
+    if (it != tables_.end()) tables_.erase(it);
+  }
+  // The table (and with it every cold page referencing the store) is
+  // gone; drop the swap store last.
+  segment_stores_.erase(name);
+  if (durable()) std::remove((dir_ + "/" + name + ".segs").c_str());
   return Status::OK();
 }
 
@@ -176,6 +211,18 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   auto db = std::unique_ptr<Database>(new Database());
   db->dir_ = dir;
   db->durability_ = opts;
+
+  // Buffer-managed base storage: a byte budget (option, or the
+  // LSTORE_BUFFER_POOL_BYTES test knob) turns on demand paging of base
+  // segments; 0 keeps them fully resident exactly as before. The pool
+  // must exist before any table recovers so checkpoints can restore
+  // segment references lazily.
+  uint64_t pool_budget = opts.buffer_pool_bytes != 0
+                             ? opts.buffer_pool_bytes
+                             : BufferPool::EnvBudgetBytes();
+  if (pool_budget > 0) {
+    db->buffer_pool_ = std::make_unique<BufferPool>(pool_budget);
+  }
 
   std::vector<CatalogEntry> catalog;
   bool catalog_exists = false;

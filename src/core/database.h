@@ -20,9 +20,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "buffer/buffer_pool.h"
+#include "buffer/segment_store.h"
 #include "common/config.h"
 #include "common/latch.h"
 #include "common/status.h"
@@ -115,6 +118,18 @@ class Database : public TxnContext {
   /// than every previous event. Prefer Now() for read-only scans.
   Timestamp ReadTimestamp() { return txn_manager_.clock().Tick(); }
 
+  /// The database-wide buffer pool for read-optimized base segments
+  /// (nullptr when DurabilityOptions::buffer_pool_bytes — or the
+  /// LSTORE_BUFFER_POOL_BYTES knob — is 0: fully resident).
+  BufferPool* buffer_pool() { return buffer_pool_.get(); }
+
+  /// Aggregate hit/miss/eviction/residency counters of the pool
+  /// (all-zero when no pool is configured).
+  BufferPoolStats buffer_stats() const {
+    return buffer_pool_ != nullptr ? buffer_pool_->stats()
+                                   : BufferPoolStats{};
+  }
+
  private:
   friend class CheckpointManager;
 
@@ -141,6 +156,14 @@ class Database : public TxnContext {
   /// a concurrent drop must not destroy a table mid-capture. Ordering:
   /// ddl_mu_ before the checkpoint manager's internal mutexes.
   mutable std::mutex ddl_mu_;
+  /// Buffer-managed base storage: one pool for the whole database,
+  /// one swap store per table. Declared BEFORE tables_ so both
+  /// outlive the tables whose destructors detach pages from the pool
+  /// (and whose cold pages read from the stores).
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unordered_map<std::string, std::unique_ptr<SegmentStore>>
+      segment_stores_;
+
   struct Entry {
     std::string name;
     std::unique_ptr<Table> table;

@@ -95,6 +95,10 @@ void MergeManager::Loop() {
 
 bool Table::RunInsertMerge(Range& r) {
   SpinGuard g(r.merge_latch);
+  // Pin the epoch: the pages of the segments we read from may be
+  // evicted concurrently (buffer pool), and the handle contract
+  // requires a guard for the retired-payload backstop.
+  EpochGuard eguard(epochs_);
   uint32_t occ = r.occupied.load(std::memory_order_acquire);
   uint32_t based = r.based.load(std::memory_order_acquire);
   if (based >= occ) return false;
@@ -150,10 +154,11 @@ bool Table::RunInsertMerge(Range& r) {
   std::vector<BaseSegment*> fresh(nphys, nullptr);
   for (uint32_t pc = 0; pc < nphys; ++pc) {
     BaseSegment* old = r.base[pc].load(std::memory_order_acquire);
+    PageHandle old_page = old != nullptr ? old->Pin() : PageHandle();
     std::vector<Value> vals(new_based, kNull);
     for (uint32_t slot = 0; slot < new_based; ++slot) {
       if (old != nullptr && slot < old->num_slots) {
-        vals[slot] = old->data->Get(slot);
+        vals[slot] = old_page.Get(slot);
         continue;
       }
       Value raw = r.inserts.Read(slot + 1, kTailStartTime);
@@ -176,8 +181,7 @@ bool Table::RunInsertMerge(Range& r) {
     auto seg = new BaseSegment();
     seg->tps = tps;
     seg->num_slots = new_based;
-    seg->data = CompressedColumn::Build(std::move(vals),
-                                        config_.compress_merged_pages);
+    seg->page = MakeSegmentPage(std::move(vals));
     fresh[pc] = seg;
   }
 
@@ -231,6 +235,9 @@ struct SlotMergeState {
 
 bool Table::RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns) {
   SpinGuard g(r.merge_latch);
+  // Pin the epoch for the whole consolidation: page handles over the
+  // old segments require it (see RunInsertMerge).
+  EpochGuard eguard(epochs_);
   uint32_t based = r.based.load(std::memory_order_acquire);
   if (based == 0) return false;  // nothing insert-merged yet
 
@@ -333,9 +340,10 @@ bool Table::RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns) {
     bool is_data = pc < ncols;
     bool rebuilt = false;
     if (is_data && (touched & (1ull << pc)) != 0) {
+      PageHandle old_page = old->Pin();
       std::vector<Value> vals(old->num_slots);
       for (uint32_t s = 0; s < old->num_slots; ++s) {
-        vals[s] = old->data->Get(s);
+        vals[s] = old_page.Get(s);
       }
       for (auto& [slot, st] : latest) {
         auto it = st.values.find(pc);
@@ -344,13 +352,13 @@ bool Table::RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns) {
         }
         if (st.deleted && slot < old->num_slots) vals[slot] = kNull;
       }
-      seg->data = CompressedColumn::Build(std::move(vals),
-                                          config_.compress_merged_pages);
+      seg->page = MakeSegmentPage(std::move(vals));
       rebuilt = true;
     } else if (!is_data && pc - ncols == kBaseLastUpdated) {
+      PageHandle old_page = old->Pin();
       std::vector<Value> vals(old->num_slots);
       for (uint32_t s = 0; s < old->num_slots; ++s) {
-        vals[s] = old->data->Get(s);
+        vals[s] = old_page.Get(s);
       }
       for (auto& [slot, st] : latest) {
         if (st.lut_set && slot < old->num_slots) {
@@ -360,28 +368,28 @@ bool Table::RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns) {
           }
         }
       }
-      seg->data = CompressedColumn::Build(std::move(vals),
-                                          config_.compress_merged_pages);
+      seg->page = MakeSegmentPage(std::move(vals));
       rebuilt = true;
     } else if (!is_data && pc - ncols == kBaseSchemaEnc) {
+      PageHandle old_page = old->Pin();
       std::vector<Value> vals(old->num_slots);
       for (uint32_t s = 0; s < old->num_slots; ++s) {
-        vals[s] = old->data->Get(s);
+        vals[s] = old_page.Get(s);
       }
       for (auto& [slot, st] : latest) {
         if (slot >= old->num_slots) continue;
         vals[slot] |= st.applied;
         if (st.deleted) vals[slot] |= kDeleteFlag;
       }
-      seg->data = CompressedColumn::Build(std::move(vals),
-                                          config_.compress_merged_pages);
+      seg->page = MakeSegmentPage(std::move(vals));
       rebuilt = true;
     }
     if (!rebuilt) {
       // Start Time column is preserved verbatim (Section 4.1.1: "the
       // old Start Time column remains intact"); untouched data columns
-      // share their pages.
-      seg->data = old->data;
+      // share their pages — including residency and the swap location,
+      // so a shared page is not re-written to the store.
+      seg->page = old->page;
     }
     // Lineage: per-column merge only advances the merged columns'
     // TPS — the mixed-TPS state is what Lemma 3 detects and repairs.

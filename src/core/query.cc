@@ -29,6 +29,26 @@ Status Query::Sum(ColumnId col, uint64_t* sum, uint64_t* visible_rows) const {
   return Status::OK();
 }
 
+Status Query::Min(ColumnId col, Value* out, uint64_t* visible_rows) const {
+  Query q(*this);
+  q.agg_kind_ = AggKind::kMin;
+  uint64_t acc = kNull, rows = 0;
+  LSTORE_RETURN_IF_ERROR(q.Execute(col, nullptr, &acc, &rows));
+  *out = acc;
+  if (visible_rows != nullptr) *visible_rows = rows;
+  return Status::OK();
+}
+
+Status Query::Max(ColumnId col, Value* out, uint64_t* visible_rows) const {
+  Query q(*this);
+  q.agg_kind_ = AggKind::kMax;
+  uint64_t acc = kNull, rows = 0;
+  LSTORE_RETURN_IF_ERROR(q.Execute(col, nullptr, &acc, &rows));
+  *out = acc;
+  if (visible_rows != nullptr) *visible_rows = rows;
+  return Status::OK();
+}
+
 Status Query::Count(uint64_t* count) const {
   // Aggregate over the key column (always materialized): the sum is
   // discarded, the row count is the answer.
@@ -81,7 +101,7 @@ Status Query::Execute(ColumnId agg_col, const RowFn* visit, uint64_t* sum,
   for (const Filter& f : filters_) needed |= 1ull << f.col;
 
   Timestamp as_of = as_of_ != 0 ? as_of_ : table_->Now();
-  if (sum != nullptr) *sum = 0;
+  if (sum != nullptr) *sum = AggIdentity();
   if (rows != nullptr) *rows = 0;
 
   uint64_t total = table_->num_rows();
@@ -135,11 +155,11 @@ Status Query::Execute(ColumnId agg_col, const RowFn* visit, uint64_t* sum,
 
   if (workers == 1 || nparts == 1) {
     EpochGuard guard(table_->epochs_);
-    uint64_t lsum = 0, lrows = 0;
+    uint64_t lsum = AggIdentity(), lrows = 0;
     for (uint64_t rid = r_begin; rid < r_end; ++rid) {
       scan_range(rid, &lsum, &lrows);
     }
-    if (sum != nullptr) *sum += lsum;
+    if (sum != nullptr) MergeAccumulator(sum, lsum);
     if (rows != nullptr) *rows += lrows;
     return Status::OK();
   }
@@ -158,7 +178,7 @@ Status Query::Execute(ColumnId agg_col, const RowFn* visit, uint64_t* sum,
   std::mutex fold_mu;
   pool.ParallelFor(ntasks, workers, [&](uint64_t task) {
     EpochGuard guard(table_->epochs_);
-    uint64_t lsum = 0, lrows = 0;
+    uint64_t lsum = AggIdentity(), lrows = 0;
     uint64_t t_begin = r_begin + task * chunk;
     uint64_t t_end = std::min(r_end, t_begin + chunk);
     for (uint64_t rid = t_begin; rid < t_end; ++rid) {
@@ -166,7 +186,7 @@ Status Query::Execute(ColumnId agg_col, const RowFn* visit, uint64_t* sum,
     }
     if (sum != nullptr || rows != nullptr) {
       std::lock_guard<std::mutex> g(fold_mu);
-      if (sum != nullptr) *sum += lsum;
+      if (sum != nullptr) MergeAccumulator(sum, lsum);
       if (rows != nullptr) *rows += lrows;
     }
   });
@@ -222,7 +242,7 @@ Status Query::ExecuteWithIndex(ColumnId index_col, ColumnMask needed,
     }
     if (!pass) continue;
     if (agg_col != kNoAggregation) {
-      if (sum != nullptr && tmp[agg_col] != kNull) *sum += tmp[agg_col];
+      if (sum != nullptr && tmp[agg_col] != kNull) Accumulate(sum, tmp[agg_col]);
       if (rows != nullptr) ++*rows;
     } else if (visit != nullptr) {
       // Same delivery contract as the scan path: only projected
@@ -260,7 +280,11 @@ void Query::ScanPartition(uint64_t range_id, uint32_t slot_begin,
   // Merged fast path setup (Section 4.2): every needed data column
   // plus the lineage metadata must come from ONE merge generation —
   // mixed generations are the inconsistent read of Lemma 3, repaired
-  // by the chain walk (Theorem 2).
+  // by the chain walk (Theorem 2). Every segment the partition scans
+  // is PINNED for the partition's duration: the cursors below read the
+  // compressed payloads directly, and the pins keep the eviction sweep
+  // away while this range is being consumed (demand-loading cold
+  // pages exactly once per partition, not once per slot).
   BaseSegment* seg_lut =
       r->base[ncols + kBaseLastUpdated].load(std::memory_order_acquire);
   BaseSegment* seg_enc =
@@ -275,6 +299,7 @@ void Query::ScanPartition(uint64_t range_id, uint32_t slot_begin,
                        seg_start->num_slots})
            : 0;
   std::vector<BaseSegment*> data_seg(ncols, nullptr);
+  std::vector<PageHandle> data_page(ncols);
   std::vector<CompressedColumn::Cursor> data_cur(ncols);
   for (BitIter it(needed); fast && it; ++it) {
     uint32_t col = static_cast<uint32_t>(*it);
@@ -284,14 +309,19 @@ void Query::ScanPartition(uint64_t range_id, uint32_t slot_begin,
       break;
     }
     data_seg[col] = seg;
-    data_cur[col] = seg->data->cursor();
+    data_page[col] = seg->Pin();
+    data_cur[col] = data_page[col].cursor();
     fast_slots = std::min(fast_slots, seg->num_slots);
   }
+  PageHandle lut_page, enc_page, start_page;
   CompressedColumn::Cursor lut_cur, enc_cur, start_cur;
   if (fast) {
-    lut_cur = seg_lut->data->cursor();
-    enc_cur = seg_enc->data->cursor();
-    start_cur = seg_start->data->cursor();
+    lut_page = seg_lut->Pin();
+    enc_page = seg_enc->Pin();
+    start_page = seg_start->Pin();
+    lut_cur = lut_page.cursor();
+    enc_cur = enc_page.cursor();
+    start_cur = start_page.cursor();
   }
 
   std::vector<Value> tmp(ncols, kNull);
@@ -319,7 +349,7 @@ void Query::ScanPartition(uint64_t range_id, uint32_t slot_begin,
           if (!pass) continue;
           if (agg_col != kNoAggregation) {
             Value v = data_cur[agg_col].At(slot);
-            if (v != kNull) *sum += v;
+            if (v != kNull) Accumulate(sum, v);
             ++*rows;
           } else if (visit != nullptr) {
             for (BitIter it(scrub); it; ++it) tmp[*it] = kNull;
@@ -348,7 +378,7 @@ void Query::ScanPartition(uint64_t range_id, uint32_t slot_begin,
     }
     if (!pass) continue;
     if (agg_col != kNoAggregation) {
-      if (tmp[agg_col] != kNull) *sum += tmp[agg_col];
+      if (tmp[agg_col] != kNull) Accumulate(sum, tmp[agg_col]);
       ++*rows;
     } else if (visit != nullptr) {
       Value key = tmp[0];

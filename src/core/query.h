@@ -99,6 +99,13 @@ class Query {
   Status Sum(ColumnId col, uint64_t* sum,
              uint64_t* visible_rows = nullptr) const;
 
+  /// Minimum / maximum visible value of `col` over every matching row
+  /// (∅ values are skipped; *out = ∅ when no row contributes).
+  /// Evaluated on the merged fast path through the same compressed-
+  /// segment cursors as Sum.
+  Status Min(ColumnId col, Value* out, uint64_t* visible_rows = nullptr) const;
+  Status Max(ColumnId col, Value* out, uint64_t* visible_rows = nullptr) const;
+
   /// Number of matching rows.
   Status Count(uint64_t* count) const;
 
@@ -121,6 +128,34 @@ class Query {
   };
 
   explicit Query(const Table* table) : table_(table) {}
+
+  /// Aggregate flavor of the shared execution core: Sum folds with +,
+  /// Min/Max fold with the comparator (∅ is the fold identity).
+  enum class AggKind { kSum, kMin, kMax };
+
+  /// Fold one non-∅ value into the accumulator.
+  void Accumulate(uint64_t* acc, Value v) const {
+    switch (agg_kind_) {
+      case AggKind::kSum: *acc += v; break;
+      case AggKind::kMin:
+        if (*acc == kNull || v < *acc) *acc = v;
+        break;
+      case AggKind::kMax:
+        if (*acc == kNull || v > *acc) *acc = v;
+        break;
+    }
+  }
+  uint64_t AggIdentity() const {
+    return agg_kind_ == AggKind::kSum ? 0 : kNull;
+  }
+  /// Merge a partition's partial accumulator into the global one.
+  void MergeAccumulator(uint64_t* acc, uint64_t partial) const {
+    if (agg_kind_ == AggKind::kSum) {
+      *acc += partial;
+    } else if (partial != kNull) {
+      Accumulate(acc, partial);
+    }
+  }
 
   /// Shared execution core. `agg_col` != kNoAggregation accumulates
   /// into sum/rows without materializing rows; otherwise every
@@ -145,6 +180,7 @@ class Query {
   uint64_t row_count_ = ~0ull;
   Timestamp as_of_ = 0;  ///< 0 = Table::Now() at execution
   uint32_t workers_ = 0;
+  AggKind agg_kind_ = AggKind::kSum;
   std::vector<Filter> filters_;
 };
 

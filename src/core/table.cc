@@ -12,6 +12,7 @@
 #include "core/historic.h"
 #include "core/merge.h"
 #include "core/query.h"
+#include "storage/compression/varint.h"
 
 namespace lstore {
 
@@ -70,15 +71,38 @@ Table::Table(std::string name, Schema schema, TableConfig config,
     Status s = log_->Open(config_.log_path, /*truncate=*/false);
     if (!s.ok()) log_.reset();
   }
+  buffer_pool_ = config_.buffer_pool;
+  segment_store_ = config_.segment_store;
+  if (buffer_pool_ == nullptr && segment_store_ == nullptr) {
+    // Memory-capped test knob: force standalone tables through the
+    // demand-paging path by spilling to an anonymous temp file.
+    // (A store-only wiring — durable reopen without a pool — is left
+    // alone: its lazily restored segments reference that store.)
+    uint64_t env_budget = BufferPool::EnvBudgetBytes();
+    if (env_budget > 0) {
+      owned_store_ = std::make_unique<SegmentStore>();
+      if (owned_store_->OpenTemp().ok()) {
+        owned_pool_ = std::make_unique<BufferPool>(env_budget);
+        buffer_pool_ = owned_pool_.get();
+        segment_store_ = owned_store_.get();
+      } else {
+        owned_store_.reset();
+      }
+    }
+  }
   merge_manager_ = std::make_unique<MergeManager>(this);
   if (config_.enable_merge_thread) merge_manager_->Start();
 }
 
 Table::~Table() {
   if (merge_manager_) merge_manager_->Stop();
+  // Detach this table's pages from the (shared) buffer pool first: a
+  // concurrent eviction on behalf of another table must not retire a
+  // payload into an epoch manager that is about to be destroyed.
+  if (buffer_pool_ != nullptr) buffer_pool_->DetachDomain(&epochs_);
   // Run pending epoch deleters BEFORE tearing down the ranges they
-  // reference (retired segments, deferred tail-page drops). No readers
-  // can exist at this point.
+  // reference (retired segments, deferred tail-page drops, evicted
+  // payloads). No readers can exist at this point.
   epochs_.DrainAllUnsafe();
   // Free ranges and their published structures.
   for (uint64_t c = 0; c < kMaxRangeChunks; ++c) {
@@ -163,8 +187,11 @@ std::vector<Table::ChainEntry> Table::DebugChain(Value key,
   uint32_t slot = SlotOf(rid);
   EpochGuard guard(epochs_);
   uint32_t seq = IndirSeq(r->indirection[slot].load(std::memory_order_acquire));
+  uint32_t boundary = r->historic_boundary.load(std::memory_order_acquire);
   int hops = 0;
-  while (seq != 0 && hops++ < 1000) {
+  // Stop at the historic boundary: pages below it may be reclaimed
+  // (compressed versions live in the historic store instead).
+  while (seq >= boundary && seq != 0 && hops++ < 1000) {
     ChainEntry e;
     e.seq = seq;
     e.raw_start = r->updates.Read(seq, kTailStartTime);
@@ -184,7 +211,7 @@ Value Table::BaseValue(const Range& r, uint32_t slot,
                        uint32_t physical_col) const {
   BaseSegment* seg = r.base[physical_col].load(std::memory_order_acquire);
   if (seg != nullptr && slot < seg->num_slots) {
-    return seg->data->Get(slot);
+    return seg->Pin().Get(slot);
   }
   // Not insert-merged yet: the record lives in the table-level tail
   // pages (Section 3.2) at the aligned position slot+1.
@@ -205,6 +232,55 @@ Value Table::BaseValue(const Range& r, uint32_t slot,
 
 Value Table::BaseStartRaw(const Range& r, uint32_t slot) const {
   return BaseMetaValue(r, slot, kBaseStartTime);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-managed segment pages
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<SegmentPage> Table::MakeSegmentPage(std::vector<Value> vals) {
+  auto page = std::make_shared<SegmentPage>(&epochs_,
+                                            static_cast<uint32_t>(vals.size()),
+                                            config_.compress_merged_pages);
+  if (segment_store_ != nullptr) {
+    // Write through BEFORE building (Build consumes vals): once the
+    // bytes are in the store the page is evictable, and a durable
+    // store lets checkpoints reference the segment instead of
+    // rewriting it.
+    std::string payload;
+    PutVarint64(&payload, vals.size());
+    for (Value v : vals) PutVarint64(&payload, v);
+    uint64_t offset = 0;
+    if (segment_store_->Append(payload, &offset).ok()) {
+      page->SetSwap(segment_store_, offset, payload.size(),
+                    Fnv1a32(payload.data(), payload.size()));
+    }
+    // Append failure (e.g. ENOSPC): the page simply stays resident
+    // and unevictable — correctness is unaffected.
+  }
+  page->SetResident(
+      CompressedColumn::Build(std::move(vals), config_.compress_merged_pages)
+          .release());
+  if (buffer_pool_ != nullptr) buffer_pool_->Register(page.get());
+  return page;
+}
+
+std::shared_ptr<SegmentPage> Table::MakeColdSegmentPage(uint32_t num_slots,
+                                                        uint64_t offset,
+                                                        uint64_t length,
+                                                        uint32_t checksum) {
+  auto page = std::make_shared<SegmentPage>(&epochs_, num_slots,
+                                            config_.compress_merged_pages);
+  page->SetSwap(segment_store_, offset, length, checksum);
+  if (buffer_pool_ != nullptr) buffer_pool_->Register(page.get());
+  return page;
+}
+
+Status Table::SyncSegmentStore() {
+  if (segment_store_ == nullptr || !segment_store_->durable()) {
+    return Status::OK();
+  }
+  return segment_store_->Sync();
 }
 
 std::atomic<Value>* Table::BaseStartSlot(Range& r, uint32_t slot) const {
@@ -500,7 +576,7 @@ Status Table::ResolveRecordOnce(Range& r, uint32_t slot, const ReadSpec& spec,
   const bool snapshot_read = spec.as_of != kMaxTimestamp && fallback != 0;
   const bool lut_covers = lut_seg != nullptr && slot < lut_seg->num_slots;
   if (snapshot_read && lut_covers) {
-    Value lut = lut_seg->data->Get(slot);
+    Value lut = lut_seg->Pin().Get(slot);
     if (lut != kNull && (IsTxnId(lut) || lut >= spec.as_of)) {
       *consistent = false;
     }
@@ -514,7 +590,7 @@ Status Table::ResolveRecordOnce(Range& r, uint32_t slot, const ReadSpec& spec,
       *consistent = false;
     }
     (*out)[*it] = seg_covers
-                      ? seg->data->Get(slot)
+                      ? seg->Pin().Get(slot)
                       : r.inserts.Read(slot + 1, kTailMetaColumns + col);
   }
   return Status::OK();
@@ -772,13 +848,26 @@ Status Table::WriteTailVersion(Transaction* txn, Range& r, uint32_t slot,
   }
   uint32_t prev_seq = IndirSeq(iv);
 
-  // Step 2: inspect the start time of the latest version.
-  Value latest_raw =
-      prev_seq != 0
-          ? r.updates.Read(prev_seq, kTailStartTime)
-          : (slot < r.based.load(std::memory_order_acquire)
-                 ? BaseMetaValue(r, slot, kBaseStartTime)
-                 : r.inserts.Read(slot + 1, kTailStartTime));
+  // Step 2: inspect the start time of the latest version. A chain
+  // head below the historic boundary was compressed away: only
+  // records with RESOLVED outcomes (stamped commit time or aborted
+  // tombstone — the merge prefix scan guarantees it) are ever moved,
+  // so such a head cannot belong to an in-flight writer — and the
+  // tail page that held it may already be reclaimed, so it must not
+  // be read. (Readers that pinned before the compression's retire
+  // still read the live page; readers pinned after synchronize with
+  // the boundary store through the epoch counter and skip it.)
+  uint32_t head_boundary = r.historic_boundary.load(std::memory_order_acquire);
+  Value latest_raw;
+  if (prev_seq != 0) {
+    latest_raw = prev_seq >= head_boundary
+                     ? r.updates.Read(prev_seq, kTailStartTime)
+                     : Value{1};  // historic ⇒ committed long ago
+  } else {
+    latest_raw = slot < r.based.load(std::memory_order_acquire)
+                     ? BaseMetaValue(r, slot, kBaseStartTime)
+                     : r.inserts.Read(slot + 1, kTailStartTime);
+  }
   if (IsTxnId(latest_raw) && latest_raw != txn->id()) {
     TransactionManager::StateView view = txn_manager_->GetState(latest_raw);
     if (view.found && (view.state == TxnState::kActive ||
@@ -1147,6 +1236,34 @@ Status Table::UpdateBatch(Txn& txn, const std::vector<Value>& keys,
     }
     s = WriteTailVersion(t, *r, SlotOf(rids[i]), mask, rows[i], false, sink);
     if (!s.ok()) break;
+  }
+  if (sink != nullptr && !recs.empty()) log_->AppendBatch(recs);
+  return s;
+}
+
+Status Table::DeleteBatch(Txn& txn, const std::vector<Value>& keys) {
+  LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+  Transaction* t = txn.raw();
+  std::vector<Rid> rids(keys.size());
+  primary_.MultiGet(keys.data(), keys.size(), rids.data());
+  RedoLog::Batch recs;
+  RedoLog::Batch* sink = log_ != nullptr ? &recs : nullptr;
+  static const std::vector<Value> kEmpty;
+  EpochGuard guard(epochs_);
+  Status s = Status::OK();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (rids[i] == kInvalidRid) {
+      s = Status::NotFound("no such key");
+      break;
+    }
+    Range* r = GetRange(RangeOf(rids[i]));
+    if (r == nullptr) {
+      s = Status::NotFound("no such range");
+      break;
+    }
+    s = WriteTailVersion(t, *r, SlotOf(rids[i]), 0, kEmpty, true, sink);
+    if (!s.ok()) break;
+    stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   }
   if (sink != nullptr && !recs.empty()) log_->AppendBatch(recs);
   return s;

@@ -25,6 +25,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buffer/buffer_pool.h"
+#include "buffer/page_handle.h"
+#include "buffer/segment_store.h"
 #include "common/config.h"
 #include "common/epoch.h"
 #include "common/latch.h"
@@ -59,14 +62,21 @@ void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
                        bool durable_abort);
 
 /// Read-optimized form of one physical column of one update range,
-/// carrying its in-page lineage (Section 4.2).
+/// carrying its in-page lineage (Section 4.2). The payload lives in a
+/// buffer-managed SegmentPage: possibly cold (evicted to the table's
+/// segment store) and demand-loaded through Pin(). Merge generations
+/// that leave a column untouched share the page.
 struct BaseSegment {
   /// Tail-page sequence number: how many tail records of the range
   /// have been consolidated into this segment.
   uint32_t tps = 0;
   /// Number of base slots covered (== insert-merged prefix length).
   uint32_t num_slots = 0;
-  std::shared_ptr<CompressedColumn> data;
+  std::shared_ptr<SegmentPage> page;
+
+  /// Pin the payload (demand-loading if cold). Callers must hold an
+  /// EpochGuard of the owning table for the handle's lifetime.
+  PageHandle Pin() const { return PageHandle(page.get()); }
 };
 
 /// Physical base columns beyond the data columns.
@@ -187,6 +197,12 @@ class Table : public TxnContext {
   Status UpdateBatch(Txn& txn, const std::vector<Value>& keys, ColumnMask mask,
                      const std::vector<std::vector<Value>>& rows);
 
+  /// Delete every key with one index probe pass, one epoch entry, and
+  /// one redo-log frame (mirrors UpdateBatch). Stops at the first
+  /// failing key; already-deleted rows stay in the session's writeset
+  /// and commit/abort with it.
+  Status DeleteBatch(Txn& txn, const std::vector<Value>& keys);
+
   // --- analytics ------------------------------------------------------------
 
   /// Composable snapshot query (core/query.h): projection, row range,
@@ -231,6 +247,12 @@ class Table : public TxnContext {
   TransactionManager& txn_manager() { return *txn_manager_; }
   EpochManager& epochs() const { return epochs_; }
   TableStats& stats() const { return stats_; }
+  /// Buffer pool managing this table's base segments (nullptr = fully
+  /// resident base pages).
+  BufferPool* buffer_pool() const { return buffer_pool_; }
+  /// fsync the swap store so every segment reference a checkpoint is
+  /// about to publish is durable first. No-op without a durable store.
+  Status SyncSegmentStore();
   uint64_t num_rows() const { return next_row_.load(std::memory_order_acquire); }
   uint64_t num_ranges() const;
   uint32_t RangeTps(uint64_t range_id) const;
@@ -440,6 +462,21 @@ class Table : public TxnContext {
   bool RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns);
   bool RunInsertMerge(Range& r);
   size_t RunHistoricCompression(Range& r);
+
+  // Buffer-managed segment pages ---------------------------------------------
+
+  /// Build the read-optimized page for `vals`: writes it through to
+  /// the segment store (so it is evictable — and checkpointable by
+  /// reference — immediately) and registers it with the pool. With no
+  /// pool/store configured the page is plainly resident, as before.
+  std::shared_ptr<SegmentPage> MakeSegmentPage(std::vector<Value> vals);
+
+  /// A cold page backed by already-durable store bytes (lazy restore:
+  /// recovery maps segments instead of loading them).
+  std::shared_ptr<SegmentPage> MakeColdSegmentPage(uint32_t num_slots,
+                                                   uint64_t offset,
+                                                   uint64_t length,
+                                                   uint32_t checksum);
   void StampCommitTime(std::atomic<Value>* slot, Value observed_raw) const;
 
   /// Scan helpers.
@@ -495,6 +532,16 @@ class Table : public TxnContext {
 
   std::unique_ptr<MergeManager> merge_manager_;
   std::unique_ptr<RedoLog> log_;
+
+  /// Buffer-managed base storage: injected by the owning Database via
+  /// TableConfig, or owned (env-knob fallback / standalone spill).
+  /// The destructor body deletes every range — and with it every
+  /// segment page — before any member is destroyed, so ordering here
+  /// is not load-bearing.
+  std::unique_ptr<BufferPool> owned_pool_;
+  std::unique_ptr<SegmentStore> owned_store_;
+  BufferPool* buffer_pool_ = nullptr;
+  SegmentStore* segment_store_ = nullptr;
 
   mutable TableStats stats_;
 };

@@ -8,6 +8,14 @@
 //  * append-only tail pages (write-once slots, published by the
 //    tail segment's sequence counter),
 //  * the in-place-updated Indirection and Start Time slots.
+//
+// Storage hierarchy note: this atomic page type backs the RESIDENT
+// tier only — tail segments and the Indirection column, which are
+// mutable and must stay in memory. The read-optimized base segments
+// (storage/compressed_column.h) sit one tier below: immutable between
+// merges, buffer-managed (src/buffer/), and demand-paged from
+// checkpoint segment stores so a table's base footprint can exceed
+// RAM.
 
 #ifndef LSTORE_STORAGE_PAGE_H_
 #define LSTORE_STORAGE_PAGE_H_

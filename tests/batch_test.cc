@@ -100,6 +100,94 @@ TEST_F(BatchTest, UpdateBatchValidatesMaskOnce) {
       table_.Update(txn, 1, 0b010, {0}).IsInvalidArgument());  // same, single
 }
 
+TEST_F(BatchTest, DeleteBatchRemovesAllRows) {
+  Txn txn = table_.Begin();
+  std::vector<Value> keys;
+  for (Value k = 30; k < 45; ++k) keys.push_back(k);
+  ASSERT_TRUE(table_.DeleteBatch(txn, keys).ok());
+  // Deleted rows vanish for the deleter immediately...
+  std::vector<Value> out;
+  EXPECT_TRUE(table_.Read(txn, 31, 0b010, &out).IsNotFound());
+  ASSERT_TRUE(txn.Commit().ok());
+  // ...and for everyone after commit; the rest of the table survives.
+  Txn check = table_.Begin();
+  std::vector<std::vector<Value>> rows;
+  std::vector<Status> statuses;
+  Status s = table_.MultiRead(check, keys, 0b010, &rows, &statuses);
+  EXPECT_TRUE(s.IsNotFound());
+  for (const Status& st : statuses) EXPECT_TRUE(st.IsNotFound());
+  uint64_t count = 0;
+  ASSERT_TRUE(table_.NewQuery().Count(&count).ok());
+  EXPECT_EQ(count, 100u - keys.size());
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST_F(BatchTest, DeleteBatchStopsAtMissingKey) {
+  Txn txn = table_.Begin();
+  EXPECT_TRUE(table_.DeleteBatch(txn, {50, 51, 777, 52}).IsNotFound());
+  ASSERT_TRUE(txn.Commit().ok());
+  // Keys before the failure committed as deletes; 52 survived.
+  Txn check = table_.Begin();
+  std::vector<Value> out;
+  EXPECT_TRUE(table_.Read(check, 50, 0b010, &out).IsNotFound());
+  EXPECT_TRUE(table_.Read(check, 51, 0b010, &out).IsNotFound());
+  EXPECT_TRUE(table_.Read(check, 52, 0b010, &out).ok());
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST(BatchLogTest, DeleteBatchProducesOneFrameAndReplays) {
+  std::string path = "/tmp/lstore_delete_batch_log_test.log";
+  std::remove(path.c_str());
+  TableConfig cfg = SmallConfig();
+  cfg.enable_logging = true;
+  cfg.log_path = path;
+  {
+    Table table("b", Schema(3), cfg);
+    Txn load = table.Begin();
+    std::vector<std::vector<Value>> rows;
+    for (Value k = 0; k < 20; ++k) rows.push_back({k, k + 1, 0});
+    ASSERT_TRUE(table.InsertBatch(load, rows).ok());
+    ASSERT_TRUE(load.Commit().ok());
+    Txn txn = table.Begin();
+    ASSERT_TRUE(table.DeleteBatch(txn, {0, 1, 2, 3, 4}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    EXPECT_EQ(table.stats().deletes.load(), 5u);
+  }
+  // Physical framing: insert batch + commit + delete batch + commit =
+  // exactly FOUR frames (one latch/log envelope per batch).
+  {
+    std::string data;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      data.append(chunk, n);
+    }
+    std::fclose(f);
+    size_t frames = 0, pos = 0;
+    while (pos < data.size()) {
+      uint64_t len = 0;
+      ASSERT_TRUE(GetVarint64(data, &pos, &len));
+      pos += len + sizeof(uint32_t);  // payload + checksum
+      ++frames;
+    }
+    EXPECT_EQ(frames, 4u);
+  }
+  // Recovery replays the batched deletes.
+  Table recovered("b", Schema(3), cfg);
+  ASSERT_TRUE(recovered.RecoverFromLog().ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(recovered.NewQuery().Count(&count).ok());
+  EXPECT_EQ(count, 15u);
+  std::vector<Value> out;
+  Txn check = recovered.Begin();
+  EXPECT_TRUE(recovered.Read(check, 3, 0b010, &out).IsNotFound());
+  EXPECT_TRUE(recovered.Read(check, 5, 0b010, &out).ok());
+  ASSERT_TRUE(check.Commit().ok());
+  std::remove(path.c_str());
+}
+
 TEST_F(BatchTest, ForeignHostSessionsAreRejected) {
   Table other("other", Schema(3), SmallConfig());
   Txn foreign = other.Begin();

@@ -55,6 +55,62 @@ TEST_F(QueryTest, SumCountOverFreshTable) {
   EXPECT_EQ(n, kRows);
 }
 
+TEST_F(QueryTest, MinMaxTerminals) {
+  Value v = 0;
+  uint64_t rows = 0;
+  ASSERT_TRUE(table_.NewQuery().Min(2, &v, &rows).ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(rows, kRows);
+  ASSERT_TRUE(table_.NewQuery().Max(2, &v, &rows).ok());
+  EXPECT_EQ(v, kRows - 1);
+  EXPECT_EQ(rows, kRows);
+  // Filters compose: col2 == k restricted to k % 10 == 4.
+  ASSERT_TRUE(table_.NewQuery().Where(3, Value{4}).Min(2, &v).ok());
+  EXPECT_EQ(v, 4u);
+  ASSERT_TRUE(table_.NewQuery().Where(3, Value{4}).Max(2, &v).ok());
+  EXPECT_EQ(v, kRows - 6);  // 594 for kRows = 600
+  // Row ranges restrict the scan interval.
+  ASSERT_TRUE(table_.NewQuery().Range(100, 50).Min(2, &v).ok());
+  EXPECT_EQ(v, 100u);
+  ASSERT_TRUE(table_.NewQuery().Range(100, 50).Max(2, &v).ok());
+  EXPECT_EQ(v, 149u);
+  // No matching rows: the result is ∅.
+  ASSERT_TRUE(table_.NewQuery()
+                  .Where(2, [](Value x) { return x > kRows * 2; })
+                  .Min(2, &v, &rows)
+                  .ok());
+  EXPECT_EQ(v, kNull);
+  EXPECT_EQ(rows, 0u);
+  // Merged fast path (compressed-segment cursors) gives the same
+  // answers, sequential or parallel.
+  table_.FlushAll();
+  ASSERT_TRUE(table_.NewQuery().Workers(4).Min(2, &v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(table_.NewQuery().Workers(4).Max(2, &v).ok());
+  EXPECT_EQ(v, kRows - 1);
+}
+
+TEST_F(QueryTest, MinMaxTimeTravelAndDeletes) {
+  Timestamp snap = table_.Now();
+  {
+    Txn txn = table_.Begin();
+    // Push the maximum up and delete the old maximum row.
+    ASSERT_TRUE(table_.Update(txn, 7, 0b0100, {0, 0, 100000, 0}).ok());
+    ASSERT_TRUE(table_.Delete(txn, kRows - 1).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Value v = 0;
+  ASSERT_TRUE(table_.NewQuery().Max(2, &v).ok());
+  EXPECT_EQ(v, 100000u);
+  // The old snapshot still sees the pre-update world.
+  ASSERT_TRUE(table_.NewQuery().AsOf(snap).Max(2, &v).ok());
+  EXPECT_EQ(v, kRows - 1);
+  uint64_t rows = 0;
+  ASSERT_TRUE(table_.NewQuery().Min(2, &v, &rows).ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(rows, kRows - 1);  // the deleted row is gone
+}
+
 TEST_F(QueryTest, RowRangeRestriction) {
   uint64_t sum = 0;
   ASSERT_TRUE(table_.NewQuery().Range(100, 50).Sum(2, &sum).ok());
