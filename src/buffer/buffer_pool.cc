@@ -40,11 +40,14 @@ void SegmentPage::SetResident(const CompressedColumn* col) {
 }
 
 void SegmentPage::SetSwap(SegmentStore* store, uint64_t offset,
-                          uint64_t length, uint32_t checksum) {
+                          uint64_t length, uint32_t checksum,
+                          SwapFormat format, uint32_t width) {
   store_ = store;
   swap_offset_ = offset;
   swap_length_ = length;
   swap_checksum_ = checksum;
+  swap_format_ = format;
+  swap_value_width_ = width;
 }
 
 // ---------------------------------------------------------------------------
@@ -199,6 +202,27 @@ const CompressedColumn* BufferPool::LoadColdPayload(SegmentPage* page,
     if (!GetVarint64(payload.data(), payload.size(), &pos, &count) ||
         count != page->num_slots_) {
       s = Status::Corruption("segment payload slot count mismatch");
+    } else if (page->swap_format_ == SwapFormat::kFixed) {
+      // [count varint][width byte][count * width bytes, little-endian]
+      uint32_t width = pos < payload.size()
+                           ? static_cast<uint8_t>(payload[pos])
+                           : 0;
+      ++pos;
+      if (width != page->swap_value_width_ ||
+          payload.size() != pos + count * width) {
+        s = Status::Corruption("segment payload fixed-width mismatch");
+      } else {
+        vals.resize(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t v = 0;
+          for (uint32_t b = 0; b < width; ++b) {
+            v |= static_cast<uint64_t>(
+                     static_cast<uint8_t>(payload[pos + i * width + b]))
+                 << (8 * b);
+          }
+          vals[i] = v;
+        }
+      }
     } else {
       vals.resize(count);
       for (uint64_t i = 0; i < count && s.ok(); ++i) {
@@ -238,6 +262,46 @@ const CompressedColumn* BufferPool::LoadColdPayload(SegmentPage* page,
   }
   *won = true;
   return col;
+}
+
+bool BufferPool::ReadColdSlot(SegmentPage* page, uint32_t slot, Value* out) {
+  if (page == nullptr || page->store_ == nullptr ||
+      page->swap_format_ != SwapFormat::kFixed ||
+      slot >= page->num_slots_) {
+    return false;
+  }
+  if (page->payload_.load(std::memory_order_acquire) != nullptr) {
+    return false;  // resident: the pinned path is cheaper and counted
+  }
+  // Promotion gate: a page hot enough to absorb this many point reads
+  // should hydrate — decline so the caller's pin loads it and later
+  // reads become memory hits instead of preads.
+  if (page->cold_reads_.fetch_add(1, std::memory_order_relaxed) >=
+      kColdReadPromotion) {
+    return false;
+  }
+  const uint32_t width = page->swap_value_width_;
+  // Slot addressing: past the [count varint][width byte] header every
+  // value occupies exactly `width` bytes.
+  const uint64_t header = VarintLength(page->num_slots_) + 1;
+  std::string bytes;
+  if (!page->store_
+           ->ReadAt(page->swap_offset_ + header +
+                        static_cast<uint64_t>(slot) * width,
+                    width, &bytes)
+           .ok()) {
+    return false;  // fall back to the full-inflate path (fail-stop there)
+  }
+  uint64_t v = 0;
+  for (uint32_t b = 0; b < width; ++b) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[b])) << (8 * b);
+  }
+  *out = v;
+  BufferPool* pool = page->pool_.load(std::memory_order_acquire);
+  if (pool != nullptr) {
+    pool->cold_point_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 const CompressedColumn* BufferPool::Load(SegmentPage* page) {
@@ -282,6 +346,9 @@ void BufferPool::EnforceBudget() {
       const CompressedColumn* victim =
           p->payload_.exchange(nullptr, std::memory_order_acq_rel);
       if (victim == nullptr) continue;
+      // Fresh cold spell: the page earns kColdReadPromotion slot reads
+      // before the next point read promotes it back to residency.
+      p->cold_reads_.store(0, std::memory_order_relaxed);
       bytes_resident_.fetch_sub(
           p->resident_bytes_.load(std::memory_order_relaxed),
           std::memory_order_acq_rel);
@@ -310,6 +377,7 @@ BufferPoolStats BufferPool::stats() const {
   for (const HitShard& h : hits_) {
     s.hits += h.n.load(std::memory_order_relaxed);
   }
+  s.cold_point_reads = cold_point_reads_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.bytes_resident = bytes_resident_.load(std::memory_order_acquire);

@@ -46,11 +46,24 @@ class CompressedColumn;
 class EpochManager;
 class SegmentStore;
 
+/// On-disk layout of a swapped segment payload. kVarint is the
+/// original format ([count varint][varint values...]): compact, but a
+/// miss must inflate the whole segment. kFixed
+/// ([count varint][width byte][count * width bytes, little-endian])
+/// gives every slot a fixed offset, so a cold POINT read decodes just
+/// the requested slot — O(1) instead of O(range). The writer picks
+/// whichever is smaller; the format travels in the page metadata and
+/// the checkpoint's segment-ref frames, never sniffed from bytes.
+enum class SwapFormat : uint8_t { kVarint = 0, kFixed = 1 };
+
 /// Aggregate pool counters (benchmarks, tests, Database::buffer_stats).
 struct BufferPoolStats {
   uint64_t hits = 0;        ///< pin found the payload resident
   uint64_t misses = 0;      ///< pin demand-loaded from the segment store
   uint64_t evictions = 0;   ///< payloads dropped by the clock sweep
+  /// Point reads served by decoding ONE slot of a cold fixed-width
+  /// segment (no inflation, no residency change).
+  uint64_t cold_point_reads = 0;
   uint64_t bytes_resident = 0;
   uint64_t budget_bytes = 0;  ///< 0 = unlimited
   uint64_t pages = 0;         ///< registered pages (resident or cold)
@@ -75,9 +88,11 @@ class SegmentPage {
   void SetResident(const CompressedColumn* col);
 
   /// Record the write-through location; from now on the page is
-  /// evictable and can demand-load.
+  /// evictable and can demand-load. `width` is the byte width per
+  /// value for kFixed payloads (unused for kVarint).
   void SetSwap(SegmentStore* store, uint64_t offset, uint64_t length,
-               uint32_t checksum);
+               uint32_t checksum, SwapFormat format = SwapFormat::kVarint,
+               uint32_t width = 0);
 
   bool evictable() const { return store_ != nullptr; }
   bool resident() const {
@@ -87,6 +102,8 @@ class SegmentPage {
   uint64_t swap_offset() const { return swap_offset_; }
   uint64_t swap_length() const { return swap_length_; }
   uint32_t swap_checksum() const { return swap_checksum_; }
+  SwapFormat swap_format() const { return swap_format_; }
+  uint32_t swap_value_width() const { return swap_value_width_; }
   uint32_t num_slots() const { return num_slots_; }
 
  private:
@@ -98,6 +115,8 @@ class SegmentPage {
   std::atomic<const CompressedColumn*> payload_{nullptr};
   std::atomic<uint32_t> pins_{0};
   std::atomic<bool> referenced_{true};  ///< clock second-chance bit
+  /// Cold slot reads since the page last went cold (promotion gate).
+  std::atomic<uint32_t> cold_reads_{0};
   std::atomic<uint64_t> resident_bytes_{0};  ///< charged while resident
   uint32_t num_slots_;
   bool compress_;  ///< rebuild demand-loaded values with compression
@@ -106,6 +125,8 @@ class SegmentPage {
   uint64_t swap_offset_ = 0;
   uint64_t swap_length_ = 0;
   uint32_t swap_checksum_ = 0;
+  SwapFormat swap_format_ = SwapFormat::kVarint;
+  uint32_t swap_value_width_ = 0;  ///< bytes per value (kFixed only)
 
   /// Set at Register, cleared by Unregister/DetachDomain.
   std::atomic<BufferPool*> pool_{nullptr};
@@ -149,6 +170,26 @@ class BufferPool {
   static const CompressedColumn* LoadColdPayload(SegmentPage* page,
                                                  bool* won);
 
+  /// O(1) single-value demand read: serve a point read of one slot of
+  /// a COLD fixed-width segment by reading exactly `width` bytes from
+  /// the store — no inflation, no residency or clock-state change.
+  /// Returns false (caller pins as usual) when the page is resident,
+  /// varint-coded, or storeless — or once the page has absorbed
+  /// kColdReadPromotion slot reads since it last went cold: a page
+  /// that hot deserves residency, so declining hands it to the pin
+  /// path, which hydrates it and serves every later read from memory
+  /// (one pread per read forever would be the wrong steady state).
+  /// Trade-off, mirroring an mmap'd read: the whole-payload checksum
+  /// is only verified on full hydration, so a flipped bit inside the
+  /// slot bytes is served as-is here —
+  /// DurabilityOptions::verify_segment_store_on_open covers
+  /// deployments that need eager integrity.
+  static bool ReadColdSlot(SegmentPage* page, uint32_t slot, Value* out);
+
+  /// Cold slot reads a page absorbs before ReadColdSlot declines and
+  /// the next point read hydrates it (reset at each eviction).
+  static constexpr uint32_t kColdReadPromotion = 8;
+
   /// Evict cold clean frames until bytes_resident <= budget (bounded
   /// sweep; public so tests can force the invariant point).
   void EnforceBudget();
@@ -175,6 +216,7 @@ class BufferPool {
     std::atomic<uint64_t> n{0};
   };
   HitShard hits_[kHitShards];
+  std::atomic<uint64_t> cold_point_reads_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> bytes_resident_{0};

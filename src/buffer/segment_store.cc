@@ -31,6 +31,24 @@ Status SegmentStore::Open(const std::string& path) {
   return Status::OK();
 }
 
+Status SegmentStore::OpenReadOnly(const std::string& path) {
+  Close();
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    return Status::IOError("cannot open segment store read-only: " + path);
+  }
+  struct ::stat st;
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IOError("cannot stat segment store: " + path);
+  }
+  path_ = path;
+  durable_ = false;
+  end_.store(static_cast<uint64_t>(st.st_size), std::memory_order_release);
+  return Status::OK();
+}
+
 Status SegmentStore::OpenTemp() {
   Close();
   const char* base = std::getenv("TMPDIR");

@@ -40,6 +40,11 @@ class SegmentStore {
   /// end so previously recorded offsets stay valid.
   Status Open(const std::string& path);
 
+  /// Open an existing store read-only (point-in-time restore reads a
+  /// foreign directory without mutating it). Append fails; durable()
+  /// stays false — nothing durable may reference a read-only handle.
+  Status OpenReadOnly(const std::string& path);
+
   /// Anonymous spill file for standalone tables (unlinked immediately,
   /// so it vanishes with the process). Offsets from a temp store are
   /// never referenced by durable state: durable() stays false.

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "archive/archive_manager.h"
 #include "checkpoint/serde.h"
 #include "core/commit_pipeline.h"
 #include "core/database.h"
@@ -115,12 +116,18 @@ Status WriteAtomically(const std::string& path, uint32_t magic,
 // Manifest
 // ---------------------------------------------------------------------------
 
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kManifestFile;
+}
+
 Status WriteManifest(const std::string& dir, const Manifest& m) {
   return WriteAtomically(
-      dir + "/" + kManifestFile, kManifestMagic, [&](FrameWriter* w) {
+      ManifestPath(dir), kManifestMagic, [&](FrameWriter* w) {
         std::string p;
         PutVarint64(&p, m.checkpoint_id);
         PutVarint64(&p, m.entries.size());
+        PutVarint64(&p, m.capture_time);
+        PutVarint64(&p, m.commit_log_mark);
         LSTORE_RETURN_IF_ERROR(w->WriteFrame(FrameType::kManifestHeader, p));
         for (const ManifestEntry& e : m.entries) {
           std::string q;
@@ -137,7 +144,10 @@ Status WriteManifest(const std::string& dir, const Manifest& m) {
 }
 
 Status ReadManifest(const std::string& dir, Manifest* m, bool* exists) {
-  std::string path = dir + "/" + kManifestFile;
+  return ReadManifestFile(ManifestPath(dir), m, exists);
+}
+
+Status ReadManifestFile(const std::string& path, Manifest* m, bool* exists) {
   *exists = FileExists(path);
   if (!*exists) return Status::OK();
   FrameReader r;
@@ -151,6 +161,12 @@ Status ReadManifest(const std::string& dir, Manifest* m, bool* exists) {
     if (type == FrameType::kManifestHeader) {
       if (!GetU64(p, &pos, &m->checkpoint_id) ||
           !GetU64(p, &pos, &expected_entries)) {
+        return Status::Corruption("bad manifest header");
+      }
+      // Archive watermarks (absent in pre-archive manifests = 0).
+      if (pos < p.size() &&
+          (!GetU64(p, &pos, &m->capture_time) ||
+           !GetU64(p, &pos, &m->commit_log_mark))) {
         return Status::Corruption("bad manifest header");
       }
       header_seen = true;
@@ -305,7 +321,7 @@ Status CheckpointManager::RunCheckpoint() {
   // only the LSN reads — the fsyncs below run with commits flowing.
   // Watermarks BEFORE capture: anything the capture might miss has a
   // higher LSN and will be replayed at recovery (idempotently).
-  uint64_t commit_log_mark = 0;
+  uint64_t commit_quiesce_lsn = 0;
   {
     std::unique_lock<std::mutex> quiesce;
     if (db_->group_commit_ != nullptr) {
@@ -319,7 +335,7 @@ Status CheckpointManager::RunCheckpoint() {
       m.entries.push_back(std::move(e));
     }
     if (db_->commit_log_ != nullptr) {
-      commit_log_mark = db_->commit_log_->last_lsn();
+      commit_quiesce_lsn = db_->commit_log_->last_lsn();
     }
   }
   // Make the snapshotted prefixes durable (Flush syncs everything up
@@ -354,33 +370,22 @@ Status CheckpointManager::RunCheckpoint() {
     e.secondary_columns = t->SecondaryColumns();
     new_files.push_back(e.file);
   }
-  if (status.ok()) status = WriteManifest(dir_, m);
-  if (!status.ok()) {
-    // Failed checkpoint: the old manifest still rules; drop orphans.
-    for (const std::string& f : new_files) {
-      std::remove((dir_ + "/" + f).c_str());
-    }
-    return status;
-  }
 
-  // The manifest is durable: the log prefix below each watermark is
-  // dead weight now (Section 5.1.3's log truncation).
-  if (opts_.truncate_log_after_checkpoint) {
-    for (size_t i = 0; i < tables.size(); ++i) {
-      Table* t = tables[i].second;
-      if (t->log_ != nullptr) {
-        Status ts = t->log_->TruncateTo(m.entries[i].log_watermark);
-        if (!ts.ok() && status.ok()) status = ts;
-      }
-    }
-    // Commit-log low-water mark: a record is covered once every
-    // participant's payloads sit at or below that table's checkpoint
-    // watermark (the capture resolved their outcomes, so the record
-    // is dead weight). Only records that existed when the watermarks
-    // were taken (lsn <= commit_log_mark) are candidates — a commit
-    // racing the capture keeps its record until the next checkpoint.
-    // Only the contiguous covered prefix is dropped, so truncated
-    // table-log prefixes can never orphan a still-needed record.
+  // Archive watermarks, recorded in the manifest BEFORE it publishes:
+  //  * capture_time — a SnapshotNow taken after the capture loop, a
+  //    strict upper bound on every commit time the checkpoint files
+  //    can contain (RestoreToPoint's qualification bound), and
+  //  * commit_log_mark — the commit-log low-water mark: a record is
+  //    covered once every participant's payloads sit at or below that
+  //    table's checkpoint watermark (the capture resolved their
+  //    outcomes, so the record is dead weight). Only records that
+  //    existed when the watermarks were taken
+  //    (lsn <= commit_quiesce_lsn) are candidates — a commit racing
+  //    the capture keeps its record until the next checkpoint. Only
+  //    the contiguous covered prefix counts, so truncated table-log
+  //    prefixes can never orphan a still-needed record.
+  if (status.ok()) {
+    m.capture_time = db_->txn_manager_.SnapshotNow();
     if (db_->commit_log_ != nullptr) {
       std::unordered_map<std::string, uint64_t> watermarks;
       for (const ManifestEntry& e : m.entries) {
@@ -388,9 +393,9 @@ Status CheckpointManager::RunCheckpoint() {
       }
       uint64_t low = 0;
       bool stop = false;
-      Status ss = db_->commit_log_->Scan(
+      status = db_->commit_log_->Scan(
           [&](const CommitLogRecord& rec, uint64_t lsn) {
-            if (stop || lsn > commit_log_mark) {
+            if (stop || lsn > commit_quiesce_lsn) {
               stop = true;
               return;
             }
@@ -405,7 +410,61 @@ Status CheckpointManager::RunCheckpoint() {
             }
             low = lsn;
           });
-      if (ss.ok() && low > 0) ss = db_->commit_log_->TruncateTo(low);
+      if (status.ok()) m.commit_log_mark = low;
+    }
+  }
+
+  if (status.ok()) status = WriteManifest(dir_, m);
+  if (!status.ok()) {
+    // Failed checkpoint: the old manifest still rules; drop orphans.
+    for (const std::string& f : new_files) {
+      std::remove((dir_ + "/" + f).c_str());
+    }
+    return status;
+  }
+
+  // With archiving on, the just-published manifest becomes a durable
+  // restore-epoch boundary (MANIFEST.<id>). A crash before the copy
+  // merely skips this epoch: restores in its window fall back to the
+  // previous archived manifest plus a longer stitched replay.
+  ArchiveManager* archive =
+      db_->archive_ != nullptr && db_->archive_->enabled()
+          ? db_->archive_.get()
+          : nullptr;
+  if (archive != nullptr) {
+    Status as = archive->ArchiveManifestCopy(id);
+    if (!as.ok() && status.ok()) status = as;
+  }
+
+  // The manifest is durable: the log prefix below each watermark is
+  // dead weight now (Section 5.1.3's log truncation) — deleted, or,
+  // with archiving on, sealed into LSN-range-named segments (durable
+  // before each truncated log publishes, so no crash point loses log
+  // bytes).
+  if (opts_.truncate_log_after_checkpoint) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      Table* t = tables[i].second;
+      if (t->log_ != nullptr) {
+        FramedLog::SealSink sink;
+        if (archive != nullptr) {
+          const std::string& table_name = tables[i].first;
+          sink = [archive, &table_name](uint64_t lo, uint64_t hi,
+                                        std::string_view bytes) {
+            return archive->SealRedoPrefix(table_name, lo, hi, bytes);
+          };
+        }
+        Status ts = t->log_->TruncateTo(m.entries[i].log_watermark, sink);
+        if (!ts.ok() && status.ok()) status = ts;
+      }
+    }
+    if (db_->commit_log_ != nullptr && m.commit_log_mark > 0) {
+      FramedLog::SealSink sink;
+      if (archive != nullptr) {
+        sink = [archive](uint64_t lo, uint64_t hi, std::string_view bytes) {
+          return archive->SealCommitPrefix(lo, hi, bytes);
+        };
+      }
+      Status ss = db_->commit_log_->TruncateTo(m.commit_log_mark, sink);
       if (!ss.ok() && status.ok()) status = ss;
     }
   }
@@ -416,11 +475,23 @@ Status CheckpointManager::RunCheckpoint() {
     for (const std::string& nf : new_files) {
       if (nf == f) still_live = true;
     }
-    if (!still_live) std::remove((dir_ + "/" + f).c_str());
+    if (still_live) continue;
+    if (archive != nullptr) {
+      // Superseded checkpoints move into the archive: the archived
+      // manifests still reference them by name.
+      Status as = archive->ArchiveCheckpointFile(f);
+      if (!as.ok() && status.ok()) status = as;
+    } else {
+      std::remove((dir_ + "/" + f).c_str());
+    }
   }
   previous_files_ = std::move(new_files);
   next_checkpoint_id_ = id + 1;
   ++checkpoints_taken_;
+  if (archive != nullptr) {
+    Status rs = archive->EnforceRetention();
+    if (!rs.ok() && status.ok()) status = rs;
+  }
   return status;
 }
 

@@ -51,6 +51,18 @@ struct ManifestEntry {
 
 struct Manifest {
   uint64_t checkpoint_id = 0;
+  /// Archive watermark: a strict upper bound on every commit time the
+  /// checkpoint's files can contain (a SnapshotNow taken after the
+  /// capture completed; 0 = pre-archive manifest). RestoreToPoint may
+  /// start from this checkpoint for any point T with
+  /// capture_time <= T + 1 — everything stamped in it then lies at or
+  /// before T, and the stitched log replay supplies the rest.
+  Timestamp capture_time = 0;
+  /// Archive watermark: commit-log LSNs at or below this are fully
+  /// covered by the checkpoint (their participants' outcomes are
+  /// stamped in the captured state). Truncation drops them; a restore
+  /// starting here needs commit records beyond this mark only.
+  uint64_t commit_log_mark = 0;
   std::vector<ManifestEntry> entries;
 };
 
@@ -65,8 +77,16 @@ struct CatalogEntry {
 /// Manifest / catalog files (temp + atomic rename). A missing file
 /// reports *exists = false with an OK status; a malformed one fails
 /// with Corruption.
+/// Path of the live manifest under a database directory — the single
+/// home of the file name, shared by checkpointing, archiving, and
+/// restore.
+std::string ManifestPath(const std::string& dir);
+
 Status WriteManifest(const std::string& dir, const Manifest& m);
 Status ReadManifest(const std::string& dir, Manifest* m, bool* exists);
+/// Read a manifest by full path (archived copies under <dir>/archive
+/// are plain manifest files named MANIFEST.<id>).
+Status ReadManifestFile(const std::string& path, Manifest* m, bool* exists);
 Status WriteCatalog(const std::string& dir,
                     const std::vector<CatalogEntry>& entries);
 Status ReadCatalog(const std::string& dir, std::vector<CatalogEntry>* entries,

@@ -46,7 +46,8 @@ std::vector<ColumnId> Table::SecondaryColumns() const {
 
 Status Table::ReplayAndRebuild(
     uint64_t watermark,
-    const std::unordered_map<TxnId, Timestamp>* db_commits) {
+    const std::unordered_map<TxnId, Timestamp>* db_commits,
+    const std::vector<std::string>* log_paths, Timestamp commit_horizon) {
   // Buffer-managed segments: recovery reads through pinned page
   // handles (an already-recovered table's merge thread can evict our
   // cold pages through the shared pool), so hold the epoch pin the
@@ -61,15 +62,31 @@ Status Table::ReplayAndRebuild(
   Timestamp max_time = 0;
 
   // --- step 2: replay the redo-log tail -----------------------------------
-  if (!config_.log_path.empty()) {
+  // The default source is the table's live log; a point-in-time
+  // restore passes the stitched stream instead (sealed archive
+  // segments in LSN order, then the live log — each one a
+  // self-describing framed file, so the same Replay reads them all).
+  std::vector<std::string> default_paths;
+  if (log_paths == nullptr) {
+    if (!config_.log_path.empty()) default_paths.push_back(config_.log_path);
+    log_paths = &default_paths;
+  }
+  {
     std::vector<LogRecord> appends;
-    RedoLog::ReplayStats stats;
-    Status rs = RedoLog::Replay(
-        config_.log_path,
+    Status rs = Status::OK();
+    for (const std::string& log_path : *log_paths) {
+      RedoLog::ReplayStats stats;
+      rs = RedoLog::Replay(
+        log_path,
         [&](const LogRecord& rec, uint64_t lsn) {
           switch (rec.type) {
             case LogRecordType::kCommit:
-              commits[rec.txn_id] = rec.commit_time;
+              // Commits beyond the restore horizon never happened in
+              // the restored timeline: their tail records resolve to
+              // aborted tombstones below.
+              if (rec.commit_time <= commit_horizon) {
+                commits[rec.txn_id] = rec.commit_time;
+              }
               break;
             case LogRecordType::kAbort:
               // An abort record can FOLLOW a commit record of the same
@@ -94,8 +111,12 @@ Status Table::ReplayAndRebuild(
           }
         },
         &stats);
-    if (!rs.ok()) return rs;
+      if (!rs.ok()) return rs;
+    }
 
+    // Overlapping archive segments (a crash between seal and truncate
+    // re-seals a longer prefix) can deliver a record twice; the writes
+    // below are idempotent, so duplicates are harmless.
     for (const LogRecord& rec : appends) {
       Range* r = EnsureRange(rec.range_id);
       TailSegment& seg = rec.type == LogRecordType::kInsertAppend
@@ -252,7 +273,8 @@ Status Table::ReplayAndRebuild(
 Status Table::RecoverDurable(
     const std::string& checkpoint_file, uint64_t log_watermark,
     uint64_t checkpoint_checksum,
-    const std::unordered_map<TxnId, Timestamp>* db_commits) {
+    const std::unordered_map<TxnId, Timestamp>* db_commits,
+    const std::vector<std::string>* log_paths, Timestamp commit_horizon) {
   // Replay must not race our own appender; close first.
   if (log_ != nullptr) log_->Close();
 
@@ -260,7 +282,8 @@ Status Table::RecoverDurable(
     LSTORE_RETURN_IF_ERROR(
         CheckpointIO::LoadTable(this, checkpoint_file, checkpoint_checksum));
   }
-  LSTORE_RETURN_IF_ERROR(ReplayAndRebuild(log_watermark, db_commits));
+  LSTORE_RETURN_IF_ERROR(
+      ReplayAndRebuild(log_watermark, db_commits, log_paths, commit_horizon));
 
   // Resume logging (append mode).
   if (config_.enable_logging && !config_.log_path.empty()) {

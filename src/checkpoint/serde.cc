@@ -263,6 +263,8 @@ Status CheckpointIO::WriteTable(Table& t, const std::string& path,
         PutVarint64(&p, page->swap_offset());
         PutVarint64(&p, page->swap_length());
         PutVarint64(&p, page->swap_checksum());
+        PutVarint64(&p, static_cast<uint64_t>(page->swap_format()));
+        PutVarint64(&p, page->swap_value_width());
         LSTORE_RETURN_IF_ERROR(w.WriteFrame(FrameType::kBaseSegmentRef, p));
         continue;
       }
@@ -449,6 +451,14 @@ Status CheckpointIO::LoadTable(Table* t, const std::string& path,
             !GetU64(p, &pos, &crc)) {
           return Status::Corruption("bad base segment ref");
         }
+        // Payload format + value width (absent in pre-fixed-width
+        // checkpoints = varint).
+        uint64_t format = 0, width = 0;
+        if (pos < p.size() &&
+            (!GetU64(p, &pos, &format) || !GetU64(p, &pos, &width) ||
+             format > static_cast<uint64_t>(SwapFormat::kFixed))) {
+          return Status::Corruption("bad base segment ref format");
+        }
         if (pc >= nphys) return Status::Corruption("segment column overflow");
         if (t->segment_store_ == nullptr ||
             !t->segment_store_->Contains(offset, length)) {
@@ -473,7 +483,9 @@ Status CheckpointIO::LoadTable(Table* t, const std::string& path,
         seg->num_slots = static_cast<uint32_t>(num_slots);
         seg->page = t->MakeColdSegmentPage(static_cast<uint32_t>(num_slots),
                                            offset, length,
-                                           static_cast<uint32_t>(crc));
+                                           static_cast<uint32_t>(crc),
+                                           static_cast<SwapFormat>(format),
+                                           static_cast<uint32_t>(width));
         Table::Range* r = t->EnsureRange(id);
         BaseSegment* old = r->base[pc].exchange(seg, std::memory_order_acq_rel);
         delete old;

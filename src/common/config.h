@@ -131,6 +131,25 @@ struct DurabilityOptions {
   /// memory-capped job).
   uint64_t buffer_pool_bytes = 0;
 
+  /// Log archiving / point-in-time recovery (src/archive/): when
+  /// enabled, checkpoint truncation seals the retired log prefixes
+  /// (per-table redo logs and the commit log) into checksummed,
+  /// LSN-range-named segments under <dir>/archive, and superseded
+  /// checkpoints/manifests move there instead of being deleted — so
+  /// Database::RestoreToPoint can rebuild the exact cross-table-
+  /// consistent state at any archived commit point. Off (default) =
+  /// truncation deletes the prefix, exactly the pre-archive behavior.
+  bool archive_enabled = false;
+
+  /// Retention policy of the archive (each 0 = unbounded on that
+  /// axis). Enforcement drops whole restore epochs oldest-first: an
+  /// archived checkpoint plus exactly the log segments that only
+  /// serve points older than the next retained checkpoint — never a
+  /// segment newer than the oldest restorable checkpoint.
+  uint64_t archive_max_bytes = 0;        ///< total bytes under <dir>/archive
+  uint64_t archive_max_segments = 0;     ///< number of .arc segments
+  uint64_t archive_max_age_seconds = 0;  ///< age horizon (file mtimes)
+
   /// Eagerly verify every segment-store byte range the checkpoint
   /// references during Open (reads the ranges back and checks their
   /// checksums; the segments themselves still restore lazily/cold).

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "archive/archive_manager.h"
 #include "checkpoint/checkpoint_manager.h"
 #include "core/commit_pipeline.h"
 #include "log/commit_log.h"
@@ -94,6 +95,9 @@ Status Database::CreateTable(const std::string& name, Schema schema,
     // A stale swap store of a previously dropped table must not be
     // appended to: its old offsets are garbage for the new table.
     std::remove((dir_ + "/" + name + ".segs").c_str());
+    // Stale archived segments likewise: the new table's log restarts
+    // at LSN 1, so old sealed prefixes would poison any future stitch.
+    if (archive_ != nullptr) archive_->ForgetTable(name);
   }
   LSTORE_RETURN_IF_ERROR(
       CreateTableInternal(name, std::move(schema), std::move(config), nullptr));
@@ -132,6 +136,7 @@ Status Database::DropTable(const std::string& name) {
       LSTORE_RETURN_IF_ERROR(checkpoint_manager_->ForgetTable(name));
     }
     if (!log_path.empty()) std::remove(log_path.c_str());
+    if (archive_ != nullptr) archive_->ForgetTable(name);
   }
   {
     SpinGuard g(latch_);
@@ -222,6 +227,13 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
                              : BufferPool::EnvBudgetBytes();
   if (pool_budget > 0) {
     db->buffer_pool_ = std::make_unique<BufferPool>(pool_budget);
+  }
+
+  // Log archiving: the manager exists (and its directory is swept of
+  // stale temp files) before the first checkpoint can truncate.
+  if (opts.archive_enabled) {
+    db->archive_ = std::make_unique<ArchiveManager>(dir, opts);
+    LSTORE_RETURN_IF_ERROR(db->archive_->EnsureDir());
   }
 
   std::vector<CatalogEntry> catalog;

@@ -34,9 +34,28 @@
 
 namespace lstore {
 
+class ArchiveManager;
 class CheckpointManager;
 class CommitLog;
 class GroupCommitQueue;
+
+/// A point to restore to (Database::RestoreToPoint): either an
+/// inclusive commit time, or the LSN of a cross-table commit-log
+/// record (resolved to that record's commit time).
+struct RestorePoint {
+  Timestamp commit_time = 0;
+  uint64_t commit_lsn = 0;
+  static RestorePoint AtTime(Timestamp t) {
+    RestorePoint p;
+    p.commit_time = t;
+    return p;
+  }
+  static RestorePoint AtCommitLsn(uint64_t lsn) {
+    RestorePoint p;
+    p.commit_lsn = lsn;
+    return p;
+  }
+};
 
 class Database : public TxnContext {
  public:
@@ -63,6 +82,29 @@ class Database : public TxnContext {
   /// in-memory database.
   Status Checkpoint();
 
+  /// Point-in-time recovery (requires a directory whose checkpoints
+  /// ran with DurabilityOptions::archive_enabled): open `dir`
+  /// read-only, load the newest checkpoint at or before the point,
+  /// stitch archived + live log segments into one LSN-continuous
+  /// stream per participant, replay the commit log into an outcome
+  /// map truncated at the point, and replay each table against it —
+  /// the result is an in-memory Database holding the exact
+  /// cross-table-consistent committed state at the point (a
+  /// transaction is present with ALL of its writes, on every
+  /// participant, or none). The point is inclusive: commits with
+  /// commit_time <= point are present. Fails with NotFound when the
+  /// point precedes the archived history (retention evicted it) and
+  /// with Corruption when a sealed segment is torn or a gap breaks
+  /// the LSN stitch — never silently missing data. Scope: the restore
+  /// covers the tables in the CURRENT catalog — DropTable permanently
+  /// removes a table from history (its archived segments are
+  /// reclaimed with it), and reusing a dropped table's name
+  /// invalidates that name's pre-reuse history (those restores fail
+  /// cleanly). `dir` must not have a writing Database attached.
+  static Status RestoreToPoint(const std::string& dir,
+                               const RestorePoint& point,
+                               std::unique_ptr<Database>* out);
+
   bool durable() const { return !dir_.empty(); }
   const std::string& directory() const { return dir_; }
   CheckpointManager* checkpoint_manager() { return checkpoint_manager_.get(); }
@@ -70,6 +112,8 @@ class Database : public TxnContext {
   /// The database commit log — the single atomic commit point for
   /// cross-table transactions (null on an in-memory database).
   CommitLog* commit_log() { return commit_log_.get(); }
+  /// The log archive (null unless DurabilityOptions::archive_enabled).
+  ArchiveManager* archive_manager() { return archive_.get(); }
   /// The group-commit stage shared by every commit on this database
   /// (null on an in-memory database).
   GroupCommitQueue* group_commit() { return group_commit_.get(); }
@@ -172,6 +216,8 @@ class Database : public TxnContext {
 
   std::string dir_;  ///< empty = in-memory
   DurabilityOptions durability_;
+  /// Log archiving / PITR (durable + archive_enabled only).
+  std::unique_ptr<ArchiveManager> archive_;
   /// Cross-table commit point + shared fsync stage (durable only).
   std::unique_ptr<CommitLog> commit_log_;
   std::unique_ptr<GroupCommitQueue> group_commit_;

@@ -211,6 +211,12 @@ Value Table::BaseValue(const Range& r, uint32_t slot,
                        uint32_t physical_col) const {
   BaseSegment* seg = r.base[physical_col].load(std::memory_order_acquire);
   if (seg != nullptr && slot < seg->num_slots) {
+    // O(1) single-value demand read: a buffer-pool miss on a
+    // fixed-width cold segment decodes only the requested slot
+    // instead of inflating the whole column (varint-coded segments
+    // fall through to the full-inflate pin).
+    Value v;
+    if (BufferPool::ReadColdSlot(seg->page.get(), slot, &v)) return v;
     return seg->Pin().Get(slot);
   }
   // Not insert-merged yet: the record lives in the table-level tail
@@ -246,14 +252,40 @@ std::shared_ptr<SegmentPage> Table::MakeSegmentPage(std::vector<Value> vals) {
     // Write through BEFORE building (Build consumes vals): once the
     // bytes are in the store the page is evictable, and a durable
     // store lets checkpoints reference the segment instead of
-    // rewriting it.
+    // rewriting it. The payload format is chosen per segment: the
+    // byte-aligned fixed-width layout wins ties because it gives cold
+    // POINT reads O(1) slot addressing (decode one slot, not the
+    // range); value distributions where varint is strictly smaller
+    // keep the compact layout and the full-inflate path.
+    uint64_t maxv = 0;
+    size_t varint_bytes = 0;
+    for (Value v : vals) {
+      if (v > maxv) maxv = v;
+      varint_bytes += VarintLength(v);
+    }
+    const uint32_t width = maxv <= 0xffu           ? 1
+                           : maxv <= 0xffffu       ? 2
+                           : maxv <= 0xffffffffull ? 4
+                                                   : 8;
+    const bool fixed = vals.size() * width <= varint_bytes;
     std::string payload;
     PutVarint64(&payload, vals.size());
-    for (Value v : vals) PutVarint64(&payload, v);
+    if (fixed) {
+      payload.push_back(static_cast<char>(width));
+      for (Value v : vals) {
+        for (uint32_t b = 0; b < width; ++b) {
+          payload.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+        }
+      }
+    } else {
+      for (Value v : vals) PutVarint64(&payload, v);
+    }
     uint64_t offset = 0;
     if (segment_store_->Append(payload, &offset).ok()) {
       page->SetSwap(segment_store_, offset, payload.size(),
-                    Fnv1a32(payload.data(), payload.size()));
+                    Fnv1a32(payload.data(), payload.size()),
+                    fixed ? SwapFormat::kFixed : SwapFormat::kVarint,
+                    fixed ? width : 0);
     }
     // Append failure (e.g. ENOSPC): the page simply stays resident
     // and unevictable — correctness is unaffected.
@@ -265,13 +297,13 @@ std::shared_ptr<SegmentPage> Table::MakeSegmentPage(std::vector<Value> vals) {
   return page;
 }
 
-std::shared_ptr<SegmentPage> Table::MakeColdSegmentPage(uint32_t num_slots,
-                                                        uint64_t offset,
-                                                        uint64_t length,
-                                                        uint32_t checksum) {
+std::shared_ptr<SegmentPage> Table::MakeColdSegmentPage(
+    uint32_t num_slots, uint64_t offset, uint64_t length, uint32_t checksum,
+    SwapFormat format, uint32_t value_width) {
   auto page = std::make_shared<SegmentPage>(&epochs_, num_slots,
                                             config_.compress_merged_pages);
-  page->SetSwap(segment_store_, offset, length, checksum);
+  page->SetSwap(segment_store_, offset, length, checksum, format,
+                value_width);
   if (buffer_pool_ != nullptr) buffer_pool_->Register(page.get());
   return page;
 }

@@ -283,11 +283,22 @@ class Table : public TxnContext {
   /// commit log's verdicts: cross-table transactions leave no commit
   /// record in the per-table logs, so their outcome resolves from it —
   /// on every participant or none.
+  ///
+  /// `log_paths` (optional) overrides the replay source with an
+  /// ordered list of framed log files — the archive stitcher passes
+  /// sealed segments followed by the live log, forming one
+  /// LSN-continuous stream. `commit_horizon` truncates the outcome
+  /// map for point-in-time restores: per-table commit records with
+  /// commit_time > horizon are treated as never having committed
+  /// (their tail records become aborted tombstones, exactly like a
+  /// crash before the commit record).
   Status RecoverDurable(const std::string& checkpoint_file,
                         uint64_t log_watermark,
                         uint64_t checkpoint_checksum = 0,
                         const std::unordered_map<TxnId, Timestamp>*
-                            db_commits = nullptr);
+                            db_commits = nullptr,
+                        const std::vector<std::string>* log_paths = nullptr,
+                        Timestamp commit_horizon = kMaxTimestamp);
 
   /// Columns carrying a secondary index (recorded in the checkpoint
   /// manifest so recovery can rebuild them).
@@ -472,11 +483,13 @@ class Table : public TxnContext {
   std::shared_ptr<SegmentPage> MakeSegmentPage(std::vector<Value> vals);
 
   /// A cold page backed by already-durable store bytes (lazy restore:
-  /// recovery maps segments instead of loading them).
-  std::shared_ptr<SegmentPage> MakeColdSegmentPage(uint32_t num_slots,
-                                                   uint64_t offset,
-                                                   uint64_t length,
-                                                   uint32_t checksum);
+  /// recovery maps segments instead of loading them). Format + width
+  /// come from the checkpoint's segment-ref frame so fixed-width
+  /// segments keep their O(1) cold point reads across restarts.
+  std::shared_ptr<SegmentPage> MakeColdSegmentPage(
+      uint32_t num_slots, uint64_t offset, uint64_t length,
+      uint32_t checksum, SwapFormat format = SwapFormat::kVarint,
+      uint32_t value_width = 0);
   void StampCommitTime(std::atomic<Value>* slot, Value observed_raw) const;
 
   /// Scan helpers.
@@ -488,9 +501,12 @@ class Table : public TxnContext {
   /// Start Time with its logged outcome (or the aborted tombstone,
   /// seeding the outcome map with the database commit log's verdicts),
   /// rebuild indexes + Indirection, and fast-forward the clock.
+  /// See RecoverDurable for `log_paths` / `commit_horizon`.
   Status ReplayAndRebuild(uint64_t watermark,
                           const std::unordered_map<TxnId, Timestamp>*
-                              db_commits = nullptr);
+                              db_commits = nullptr,
+                          const std::vector<std::string>* log_paths = nullptr,
+                          Timestamp commit_horizon = kMaxTimestamp);
 
   std::string name_;
   Schema schema_;

@@ -1,46 +1,19 @@
 #include "log/commit_log.h"
 
-#include <fcntl.h>
 #include <sys/stat.h>
-#include <unistd.h>
 
-#include <algorithm>
-#include <cstring>
-
-#include "log/redo_log.h"
 #include "storage/compression/varint.h"
 
 namespace lstore {
 
 namespace {
 
-/// Payload type bytes (first byte of every payload).
+/// Payload type bytes (first byte of every payload). The truncation
+/// point (tag 5) is owned by the framed core.
 constexpr char kCommitRecord = 1;
-constexpr char kAbortMarker = 2;      ///< authoritative cross-table abort
-constexpr char kTruncationPoint = 5;  ///< same value as the redo log's
-
-bool SlurpFile(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  char chunk[1 << 16];
-  size_t n;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    out->append(chunk, n);
-  }
-  std::fclose(f);
-  return true;
-}
-
-void AppendFrame(std::string* out, const std::string& payload) {
-  PutVarint64(out, payload.size());
-  out->append(payload);
-  uint32_t crc = Fnv1a32(payload.data(), payload.size());
-  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-}
+constexpr char kAbortMarker = 2;  ///< authoritative cross-table abort
 
 }  // namespace
-
-CommitLog::~CommitLog() { Close(); }
 
 void CommitLog::EncodePayload(const CommitLogRecord& rec, std::string* out) {
   if (rec.aborted) {
@@ -96,246 +69,48 @@ bool CommitLog::DecodePayload(const char* data, size_t size,
   return pos == size;
 }
 
+bool CommitLog::ValidatePayload(const char* payload, size_t len,
+                                uint64_t* lsn_count) {
+  CommitLogRecord rec;
+  if (!DecodePayload(payload, len, &rec)) return false;
+  *lsn_count = 1;
+  return true;
+}
+
 Status CommitLog::Open(
     const std::string& path, bool truncate,
     const std::function<void(const CommitLogRecord&, uint64_t lsn)>&
         replay_fn) {
-  Close();
-  path_ = path;
-  last_lsn_.store(0, std::memory_order_release);
-  if (!truncate) {
-    std::string data;
-    if (SlurpFile(path, &data) && !data.empty()) {
-      ReplayStats stats;
-      ScanFrames(data,
-                 replay_fn == nullptr
-                     ? std::function<void(const CommitLogRecord&, uint64_t,
-                                          size_t, size_t)>()
-                     : [&replay_fn](const CommitLogRecord& rec, uint64_t lsn,
-                                    size_t, size_t) { replay_fn(rec, lsn); },
-                 &stats);
-      last_lsn_.store(stats.last_lsn, std::memory_order_release);
-      if (!stats.clean_end) {
-        // A torn commit record never reached its durability point: the
-        // transaction is uncommitted on every participant. Cut it away
-        // so new appends are not hidden behind garbage.
-        if (::truncate(path.c_str(),
-                       static_cast<off_t>(stats.bytes_consumed)) != 0) {
-          return Status::IOError("cannot repair torn commit log: " + path);
-        }
-      }
-    }
-  }
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open commit log: " + path);
-  }
-  return Status::OK();
-}
-
-void CommitLog::Close() {
-  if (file_ != nullptr) {
-    Flush(false);
-    std::fclose(file_);
-    file_ = nullptr;
-  }
+  // The replay rides the open-time scan (one file read). A torn final
+  // record is repaired by the scan and never delivered — it never
+  // committed, on any participant.
+  if (replay_fn == nullptr) return framed_.Open(path, truncate);
+  return framed_.Open(
+      path, truncate,
+      [&replay_fn](std::string_view payload, uint64_t first_lsn, uint64_t,
+                   size_t, size_t) {
+        CommitLogRecord rec;
+        DecodePayload(payload.data(), payload.size(), &rec);
+        replay_fn(rec, first_lsn);
+      });
 }
 
 uint64_t CommitLog::Append(const CommitLogRecord& rec) {
   std::string payload;
   EncodePayload(rec, &payload);
-  std::lock_guard<std::mutex> g(mu_);
-  AppendFrame(&buffer_, payload);
-  return last_lsn_.fetch_add(1, std::memory_order_acq_rel) + 1;
-}
-
-Status CommitLog::FlushBufferLocked() {
-  if (file_ == nullptr) return Status::IOError("commit log not open");
-  if (!buffer_.empty()) {
-    size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-    if (n != buffer_.size()) {
-      // Drop exactly the consumed prefix on a short write (ENOSPC):
-      // the file holds a partial frame, and a later retry must
-      // continue at the same byte — re-writing the whole buffer after
-      // the partial prefix would corrupt the log mid-file and take
-      // every LATER (acknowledged) record down with it at the next
-      // open's tail scan.
-      std::string rest(buffer_, n);
-      buffer_ = std::move(rest);
-      return Status::IOError("short commit-log write");
-    }
-    buffer_.clear();
-  }
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
-  return Status::OK();
-}
-
-Status CommitLog::Flush(bool sync) {
-  std::lock_guard<std::mutex> g(mu_);
-  LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
-  if (sync) {
-    if (sync_counter_ != nullptr) {
-      sync_counter_->fetch_add(1, std::memory_order_relaxed);
-    }
-    if (::fsync(::fileno(file_)) != 0) {
-      return Status::IOError("commit-log fsync failed");
-    }
-  }
-  return Status::OK();
+  return framed_.Append(payload, 1);
 }
 
 Status CommitLog::Scan(
     const std::function<void(const CommitLogRecord&, uint64_t lsn)>& fn) {
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
-  }
+  LSTORE_RETURN_IF_ERROR(Flush(false));
   // Concurrent appends land beyond the flushed prefix; the scan stops
   // cleanly at whatever boundary it finds.
-  std::string data;
-  if (!SlurpFile(path_, &data)) {
-    return Status::IOError("cannot read commit log: " + path_);
+  Status s = Replay(framed_.path(), fn);
+  if (!s.ok()) {
+    return Status::IOError("cannot read commit log: " + framed_.path());
   }
-  ReplayStats stats;
-  ScanFrames(
-      data,
-      [&fn](const CommitLogRecord& rec, uint64_t lsn, size_t, size_t) {
-        fn(rec, lsn);
-      },
-      &stats);
-  return Status::OK();
-}
-
-Status CommitLog::TruncateTo(uint64_t watermark_lsn) {
-  std::lock_guard<std::mutex> g(mu_);
-  LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
-  std::string data;
-  if (!SlurpFile(path_, &data)) {
-    return Status::IOError("cannot read commit log for truncation: " + path_);
-  }
-  ReplayStats stats;
-  size_t cut = 0;
-  uint64_t base_lsn = 0;
-  bool found_cut = false;
-  ScanFrames(
-      data,
-      [&](const CommitLogRecord&, uint64_t lsn, size_t begin, size_t) {
-        if (!found_cut && lsn > watermark_lsn) {
-          found_cut = true;
-          cut = begin;
-          base_lsn = lsn - 1;
-        }
-      },
-      &stats);
-  if (!found_cut) {
-    cut = stats.bytes_consumed;
-    base_lsn = stats.last_lsn;
-  }
-
-  std::string head;
-  {
-    std::string payload;
-    payload.push_back(kTruncationPoint);
-    PutVarint64(&payload, base_lsn);
-    AppendFrame(&head, payload);
-  }
-  std::string tmp = path_ + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr) {
-    return Status::IOError("cannot open temp commit log: " + tmp);
-  }
-  bool ok = std::fwrite(head.data(), 1, head.size(), out) == head.size() &&
-            (data.size() == cut ||
-             std::fwrite(data.data() + cut, 1, data.size() - cut, out) ==
-                 data.size() - cut);
-  ok = ok && std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
-  std::fclose(out);
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write during commit-log truncation");
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot publish truncated commit log");
-  }
-  // Make the rename itself durable (same discipline as the redo log's
-  // truncation): the file data alone does not survive a power loss
-  // that forgets the directory entry swap.
-  {
-    std::string dir = path_.find_last_of('/') == std::string::npos
-                          ? "."
-                          : path_.substr(0, path_.find_last_of('/'));
-    int fd = ::open(dir.c_str(), O_RDONLY);
-    if (fd >= 0) {
-      (void)::fsync(fd);
-      ::close(fd);
-    }
-  }
-  // Re-point the handle at the new file (the old inode is unlinked).
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot reopen truncated commit log: " + path_);
-  }
-  return Status::OK();
-}
-
-void CommitLog::ScanFrames(
-    const std::string& data,
-    const std::function<void(const CommitLogRecord&, uint64_t lsn,
-                             size_t frame_begin, size_t frame_end)>& fn,
-    ReplayStats* stats) {
-  size_t pos = 0;
-  uint64_t lsn = 0;
-  stats->clean_end = true;
-  while (pos < data.size()) {
-    size_t frame_start = pos;
-    uint64_t len;
-    if (!GetVarint64(data, &pos, &len)) {  // torn length varint
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    size_t remain = data.size() - pos;
-    if (remain < sizeof(uint32_t) || len > remain - sizeof(uint32_t)) {
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    const char* payload = data.data() + pos;
-    uint32_t stored;
-    std::memcpy(&stored, data.data() + pos + len, sizeof(stored));
-    if (Fnv1a32(payload, len) != stored) {  // corrupt frame
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    if (len > 0 && payload[0] == kTruncationPoint) {
-      size_t sub = 1;
-      uint64_t base = 0;
-      if (!GetVarint64(payload, len, &sub, &base) || sub != len) {
-        stats->clean_end = false;
-        pos = frame_start;
-        break;
-      }
-      pos += len + sizeof(uint32_t);
-      lsn = base;
-      stats->base_lsn = base;
-      stats->last_lsn = lsn;
-      continue;
-    }
-    CommitLogRecord rec;
-    if (!DecodePayload(payload, len, &rec)) {  // malformed payload
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    pos += len + sizeof(uint32_t);
-    ++lsn;
-    stats->last_lsn = lsn;
-    if (fn) fn(rec, lsn, frame_start, pos);
-  }
-  stats->bytes_consumed = pos;
+  return s;
 }
 
 Status CommitLog::Replay(
@@ -344,17 +119,17 @@ Status CommitLog::Replay(
     ReplayStats* stats) {
   struct ::stat st;
   if (::stat(path.c_str(), &st) != 0) return Status::OK();  // no log yet
-  std::string data;
-  if (!SlurpFile(path, &data)) {
-    return Status::IOError("cannot open commit log for replay");
-  }
-  ReplayStats local;
-  ScanFrames(
-      data,
-      [&fn](const CommitLogRecord& rec, uint64_t lsn, size_t, size_t) {
-        if (fn) fn(rec, lsn);
+  Status s = FramedLog::ScanFile(
+      path, &CommitLog::ValidatePayload,
+      [&fn](std::string_view payload, uint64_t first_lsn, uint64_t, size_t,
+            size_t) {
+        if (!fn) return;
+        CommitLogRecord rec;
+        DecodePayload(payload.data(), payload.size(), &rec);
+        fn(rec, first_lsn);
       },
-      stats != nullptr ? stats : &local);
+      stats);
+  if (!s.ok()) return Status::IOError("cannot open commit log for replay");
   return Status::OK();
 }
 

@@ -16,23 +16,22 @@
 // watermarks as the low-water mark: a record whose participants are
 // all covered by the latest checkpoint is dead weight, but records are
 // only dropped from the contiguous prefix so LSN numbering stays
-// stable (same kTruncationPoint scheme as RedoLog).
-//
-// Framing matches the redo log: [payload_len varint][payload][fnv1a32].
+// stable (the shared truncation-point scheme of log/framed_log.h,
+// which also owns the framing, torn-tail repair, and truncation
+// machinery — this class supplies only the commit payload codec).
 
 #ifndef LSTORE_LOG_COMMIT_LOG_H_
 #define LSTORE_LOG_COMMIT_LOG_H_
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "log/framed_log.h"
 
 namespace lstore {
 
@@ -54,15 +53,9 @@ struct CommitLogRecord {
 
 class CommitLog {
  public:
-  struct ReplayStats {
-    uint64_t base_lsn = 0;     ///< LSN numbering base (truncation point)
-    uint64_t last_lsn = 0;     ///< LSN of the last well-formed record
-    size_t bytes_consumed = 0; ///< file prefix covered by good frames
-    bool clean_end = true;     ///< false: stopped at a torn/corrupt frame
-  };
+  using ReplayStats = FramedLog::ScanStats;
 
-  CommitLog() = default;
-  ~CommitLog();
+  CommitLog() : framed_(&CommitLog::ValidatePayload) {}
 
   CommitLog(const CommitLog&) = delete;
   CommitLog& operator=(const CommitLog&) = delete;
@@ -75,8 +68,8 @@ class CommitLog {
   Status Open(const std::string& path, bool truncate,
               const std::function<void(const CommitLogRecord&, uint64_t lsn)>&
                   replay_fn = nullptr);
-  void Close();
-  bool is_open() const { return file_ != nullptr; }
+  void Close() { framed_.Close(); }
+  bool is_open() const { return framed_.is_open(); }
 
   /// Append one commit record (buffered); returns its LSN.
   uint64_t Append(const CommitLogRecord& rec);
@@ -84,16 +77,14 @@ class CommitLog {
   /// Flush buffered records to the OS; fsync when `sync`. The fsync
   /// that returns from here IS the commit point of every record
   /// flushed by it.
-  Status Flush(bool sync);
+  Status Flush(bool sync) { return framed_.Flush(sync); }
 
-  uint64_t last_lsn() const {
-    return last_lsn_.load(std::memory_order_acquire);
-  }
+  uint64_t last_lsn() const { return framed_.last_lsn(); }
 
   /// Test hook: counts fsyncs issued by Flush(sync=true) so group
   /// commit tests can assert fsync count < committer count.
   void set_sync_counter(std::atomic<uint64_t>* counter) {
-    sync_counter_ = counter;
+    framed_.set_sync_counter(counter);
   }
 
   /// Deliver every well-formed record of the live log in append order
@@ -102,14 +93,17 @@ class CommitLog {
                   fn);
 
   /// Drop every record with LSN <= watermark (the checkpoint-derived
-  /// low-water mark): the retained tail is rewritten behind a
-  /// truncation-point record via temp file + atomic rename. The commit
-  /// log is small (one record per cross-table commit since the last
-  /// checkpoint), so the rewrite runs under the log mutex.
-  Status TruncateTo(uint64_t watermark_lsn);
+  /// low-water mark) via the framed core's truncation. With a `seal`
+  /// sink (log archiving), the retired prefix is handed over durably
+  /// before the truncated log is published.
+  Status TruncateTo(uint64_t watermark_lsn,
+                    const FramedLog::SealSink& seal = nullptr) {
+    return framed_.TruncateTo(watermark_lsn, seal);
+  }
 
   /// Replay a closed commit-log file, stopping cleanly at the first
   /// torn or corrupt frame. A missing file is an empty log (OK).
+  /// Archive segments sealed from this log replay the same way.
   static Status Replay(
       const std::string& path,
       const std::function<void(const CommitLogRecord&, uint64_t lsn)>& fn,
@@ -120,23 +114,12 @@ class CommitLog {
   static bool DecodePayload(const char* data, size_t size,
                             CommitLogRecord* rec);
 
+  /// The framed-log codec for commit payloads (always one LSN).
+  static bool ValidatePayload(const char* payload, size_t len,
+                              uint64_t* lsn_count);
+
  private:
-  /// Scan `data`, invoking `fn` per good commit record with its LSN;
-  /// fills `stats`. The single source of truth for frame parsing.
-  static void ScanFrames(
-      const std::string& data,
-      const std::function<void(const CommitLogRecord&, uint64_t lsn,
-                               size_t frame_begin, size_t frame_end)>& fn,
-      ReplayStats* stats);
-
-  Status FlushBufferLocked();
-
-  std::FILE* file_ = nullptr;
-  std::string path_;
-  std::mutex mu_;
-  std::string buffer_;
-  std::atomic<uint64_t> last_lsn_{0};
-  std::atomic<uint64_t>* sync_counter_ = nullptr;
+  FramedLog framed_;
 };
 
 }  // namespace lstore

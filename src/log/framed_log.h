@@ -1,0 +1,182 @@
+// Shared framed-log core: the one implementation of the durability
+// frame format used by the redo log, the commit log, and the archive
+// stitcher.
+//
+// Frame format: [payload_len varint][payload][fnv1a32 over payload].
+// Records carry implicit LSNs, numbered 1, 2, ... in append order; a
+// frame may carry several LSNs (batch frames). A log whose prefix was
+// truncated starts with a truncation-point frame (payload tag 5 +
+// varint base) restoring the numbering, so LSNs are stable across
+// truncations and archival.
+//
+// The core owns: buffered appends with short-write (ENOSPC) recovery,
+// fsync (with the injectable commit-path sync counter), open-time LSN
+// restore + torn-tail repair, the three-phase low-lock truncation, and
+// the frame scan that every reader shares. What a payload *means* is
+// the wrapper's business: the core calls a Codec to validate a record
+// payload and learn how many LSNs it carries — so RedoLog, CommitLog,
+// and the archive reader cannot diverge on framing, torn-tail, or
+// truncation behavior.
+//
+// Truncation can archive instead of delete: TruncateTo accepts a
+// SealSink that receives the retired prefix as a self-describing
+// framed byte string (leading truncation point + the retired frames),
+// which is exactly the content of an archive segment — replayable by
+// the same scan as a live log.
+
+#ifndef LSTORE_LOG_FRAMED_LOG_H_
+#define LSTORE_LOG_FRAMED_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lstore {
+
+/// FNV-1a 32-bit checksum over a byte range (per-frame checksums).
+uint32_t Fnv1a32(const char* data, size_t n);
+
+/// Incremental FNV-1a 64-bit (whole-file checksums of checkpoints).
+inline constexpr uint64_t kFnv1a64Seed = 14695981039346656037ull;
+inline uint64_t Fnv1a64(const char* data, size_t n,
+                        uint64_t h = kFnv1a64Seed) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class FramedLog {
+ public:
+  /// Outcome of scanning a framed file (replay, open repair, truncate).
+  struct ScanStats {
+    uint64_t base_lsn = 0;     ///< LSN numbering base (truncation point)
+    uint64_t last_lsn = 0;     ///< LSN of the last well-formed record
+    size_t bytes_consumed = 0; ///< file prefix covered by good frames
+    bool clean_end = true;     ///< false: stopped at a torn/corrupt frame
+  };
+
+  /// Validates one record payload and reports how many LSNs it
+  /// carries (1 for plain records, N for batch frames). Returning
+  /// false marks the frame malformed: the scan stops there and treats
+  /// the rest of the file as a torn tail. Truncation-point frames are
+  /// handled by the core and never reach the codec.
+  using Codec =
+      std::function<bool(const char* payload, size_t len, uint64_t* lsn_count)>;
+
+  /// Scan callback: one well-formed record frame with its first LSN,
+  /// LSN count, and byte span [begin, end) in the scanned data.
+  using FrameFn = std::function<void(std::string_view payload,
+                                     uint64_t first_lsn, uint64_t lsn_count,
+                                     size_t begin, size_t end)>;
+
+  /// Archive sink for TruncateTo: receives the retired prefix covering
+  /// LSNs [lo, hi] as a self-describing framed byte string (leading
+  /// truncation point + retired frames). Must make the bytes durable
+  /// before returning OK; an error aborts the truncation, leaving the
+  /// log intact (retried at the next checkpoint).
+  using SealSink =
+      std::function<Status(uint64_t lo, uint64_t hi, std::string_view bytes)>;
+
+  /// Payload tag of a truncation-point frame (shared by every log).
+  static constexpr uint8_t kTruncationPointTag = 5;
+
+  explicit FramedLog(Codec codec) : codec_(std::move(codec)) {}
+  ~FramedLog() { Close(); }
+
+  FramedLog(const FramedLog&) = delete;
+  FramedLog& operator=(const FramedLog&) = delete;
+
+  /// Open for appending. An existing file is scanned to restore the
+  /// LSN counter; a torn tail (crash mid-write) is truncated away so
+  /// new appends are not hidden behind garbage. `replay_fn` (optional)
+  /// receives every well-formed frame during that same scan, so
+  /// restart recovery reads the file once.
+  Status Open(const std::string& path, bool truncate,
+              const FrameFn& replay_fn = nullptr);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Append one framed payload carrying `lsn_count` LSNs (buffered).
+  /// Returns the last LSN it received (0 when lsn_count == 0).
+  uint64_t Append(std::string_view payload, uint64_t lsn_count);
+
+  /// Flush buffered frames to the OS; fsync when `sync`.
+  Status Flush(bool sync);
+
+  /// LSN of the most recently appended record (0 = empty log).
+  uint64_t last_lsn() const {
+    return last_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Test hook: counts fsyncs issued by Flush(sync=true) so group
+  /// commit tests can assert fsync count < committer count.
+  void set_sync_counter(std::atomic<uint64_t>* counter) {
+    sync_counter_ = counter;
+  }
+
+  /// Drop every record with LSN <= watermark: the retained tail is
+  /// rewritten behind a truncation-point record via temp file + atomic
+  /// rename + directory fsync. The bulk of the work (scanning the
+  /// prefix, writing the retained tail) runs WITHOUT the log mutex, so
+  /// concurrent appends are stalled only for the
+  /// O(appends-since-scan) handle swap. A batch frame straddling the
+  /// watermark is retained whole; the truncation point's LSN base
+  /// backs up accordingly so numbering stays stable.
+  ///
+  /// With a `seal` sink, the retired prefix is handed over (durably)
+  /// BEFORE the truncated log is published — archival turns the
+  /// deletion into a move, and a crash between the two leaves at worst
+  /// an overlapping segment that the next seal supersedes.
+  Status TruncateTo(uint64_t watermark_lsn, const SealSink& seal = nullptr);
+
+  // --- static framing helpers ----------------------------------------------
+
+  /// Frame `payload` ([len][payload][fnv1a32]) onto `out`.
+  static void AppendFrame(std::string* out, std::string_view payload);
+
+  /// A complete truncation-point frame restoring `base_lsn`.
+  static std::string TruncationPointFrame(uint64_t base_lsn);
+
+  /// Scan `data`, invoking `fn` per good record frame; stops cleanly
+  /// at the first torn or corrupt frame. The single source of truth
+  /// for frame parsing.
+  static void ScanFrames(std::string_view data, const Codec& codec,
+                         const FrameFn& fn, ScanStats* stats);
+
+  /// Scan a whole file (missing file = IOError).
+  static Status ScanFile(const std::string& path, const Codec& codec,
+                         const FrameFn& fn, ScanStats* stats);
+
+  /// LSN base of the file's leading truncation-point frame (0 when
+  /// the file is missing, empty, or starts with a record frame).
+  static uint64_t ReadBaseLsn(const std::string& path);
+
+ private:
+  /// Flush `buffer_` into `file_` (caller holds mu_).
+  Status FlushBufferLocked();
+
+  Codec codec_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::mutex mu_;
+  /// Serializes whole truncations against each other (mu_ still
+  /// protects every file_/buffer_ touch). Ordering: truncate_mu_
+  /// before mu_.
+  std::mutex truncate_mu_;
+  std::string buffer_;
+  std::atomic<uint64_t> last_lsn_{0};
+  std::atomic<uint64_t>* sync_counter_ = nullptr;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_LOG_FRAMED_LOG_H_

@@ -1,9 +1,5 @@
 #include "log/redo_log.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -11,70 +7,6 @@
 #include "storage/compression/varint.h"
 
 namespace lstore {
-
-namespace {
-
-/// Read a whole file into `out`; false if it cannot be opened.
-bool SlurpFile(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  char chunk[1 << 16];
-  size_t n;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    out->append(chunk, n);
-  }
-  std::fclose(f);
-  return true;
-}
-
-}  // namespace
-
-uint32_t Fnv1a32(const char* data, size_t n) {
-  uint32_t h = 2166136261u;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 16777619u;
-  }
-  return h;
-}
-
-RedoLog::~RedoLog() { Close(); }
-
-Status RedoLog::Open(const std::string& path, bool truncate) {
-  Close();
-  path_ = path;
-  last_lsn_.store(0, std::memory_order_release);
-  if (!truncate) {
-    // Restore the LSN counter from the existing records and repair a
-    // torn tail: appending after garbage would hide the new records
-    // from every future replay.
-    std::string data;
-    if (SlurpFile(path, &data) && !data.empty()) {
-      ReplayStats stats;
-      ScanFrames(data, nullptr, &stats);
-      last_lsn_.store(stats.last_lsn, std::memory_order_release);
-      if (!stats.clean_end) {
-        if (::truncate(path.c_str(),
-                       static_cast<off_t>(stats.bytes_consumed)) != 0) {
-          return Status::IOError("cannot repair torn log tail: " + path);
-        }
-      }
-    }
-  }
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open log file: " + path);
-  }
-  return Status::OK();
-}
-
-void RedoLog::Close() {
-  if (file_ != nullptr) {
-    Flush(false);
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-}
 
 void RedoLog::EncodePayload(const LogRecord& rec, std::string* out) {
   out->push_back(static_cast<char>(rec.type));
@@ -154,19 +86,42 @@ bool RedoLog::DecodePayload(const char* data, size_t size, LogRecord* rec) {
   }
 }
 
-void RedoLog::AppendFrame(std::string* out, const std::string& payload) {
-  PutVarint64(out, payload.size());
-  out->append(payload);
-  uint32_t crc = Fnv1a32(payload.data(), payload.size());
-  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+bool RedoLog::ValidatePayload(const char* payload, size_t len,
+                              uint64_t* lsn_count) {
+  if (len == 0) return false;
+  if (static_cast<LogRecordType>(payload[0]) == LogRecordType::kBatch) {
+    // One frame, N records: every sub-payload must decode, or the
+    // whole frame is malformed (treated as a torn tail by the scan).
+    size_t pos = 1;
+    uint64_t count = 0;
+    if (!GetVarint64(payload, len, &pos, &count)) return false;
+    LogRecord rec;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t sub_len = 0;
+      if (!GetVarint64(payload, len, &pos, &sub_len) || sub_len > len - pos) {
+        return false;
+      }
+      if (!DecodePayload(payload + pos, sub_len, &rec) ||
+          rec.type == LogRecordType::kTruncationPoint ||
+          rec.type == LogRecordType::kBatch) {
+        return false;
+      }
+      pos += sub_len;
+    }
+    if (pos != len) return false;
+    *lsn_count = count;
+    return true;
+  }
+  LogRecord rec;
+  if (!DecodePayload(payload, len, &rec)) return false;
+  *lsn_count = 1;
+  return true;
 }
 
 uint64_t RedoLog::Append(const LogRecord& rec) {
   std::string payload;
   EncodePayload(rec, &payload);
-  std::lock_guard<std::mutex> g(mu_);
-  AppendFrame(&buffer_, payload);
-  return last_lsn_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return framed_.Append(payload, 1);
 }
 
 void RedoLog::Batch::Add(const LogRecord& rec) {
@@ -184,10 +139,7 @@ uint64_t RedoLog::AppendBatch(const Batch& batch) {
   payload.push_back(static_cast<char>(LogRecordType::kBatch));
   PutVarint64(&payload, batch.count_);
   payload.append(batch.body_);
-  std::lock_guard<std::mutex> g(mu_);
-  AppendFrame(&buffer_, payload);
-  return last_lsn_.fetch_add(batch.count_, std::memory_order_acq_rel) +
-         batch.count_;
+  return framed_.Append(payload, batch.count_);
 }
 
 uint64_t RedoLog::AppendBatch(const std::vector<LogRecord>& recs) {
@@ -196,274 +148,39 @@ uint64_t RedoLog::AppendBatch(const std::vector<LogRecord>& recs) {
   return AppendBatch(batch);
 }
 
-Status RedoLog::FlushBufferLocked() {
-  if (file_ == nullptr) return Status::IOError("log not open");
-  if (!buffer_.empty()) {
-    size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-    if (n != buffer_.size()) {
-      // Drop exactly the consumed prefix on a short write (ENOSPC):
-      // the file holds a partial frame, and a later retry must
-      // continue at the same byte — re-writing the whole buffer after
-      // the partial prefix would corrupt the log mid-file and take
-      // every LATER (acknowledged) record down with it at the next
-      // open's tail scan.
-      std::string rest(buffer_, n);
-      buffer_ = std::move(rest);
-      return Status::IOError("short log write");
-    }
-    buffer_.clear();
-  }
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
-  return Status::OK();
-}
-
-Status RedoLog::Flush(bool sync) {
-  std::lock_guard<std::mutex> g(mu_);
-  LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
-  if (sync) {
-    if (sync_counter_ != nullptr) {
-      sync_counter_->fetch_add(1, std::memory_order_relaxed);
-    }
-    if (::fsync(::fileno(file_)) != 0) {
-      return Status::IOError("fsync failed");
-    }
-  }
-  return Status::OK();
-}
-
-Status RedoLog::TruncateTo(uint64_t watermark_lsn) {
-  std::lock_guard<std::mutex> tg(truncate_mu_);
-
-  // Phase 1 (mutex, O(pending appends)): make every appended frame
-  // file-resident and snapshot the frame-aligned prefix length.
-  size_t snap_size = 0;
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    LSTORE_RETURN_IF_ERROR(FlushBufferLocked());
-    long pos = std::ftell(file_);
-    if (pos < 0) return Status::IOError("cannot size log for truncation");
-    snap_size = static_cast<size_t>(pos);
-  }
-
-  // Phase 2 (NO mutex — commits proceed): scan the snapshot prefix,
-  // locate the byte offset of the first frame that must survive, and
-  // write the new head (truncation point + retained bytes) to a temp
-  // file. Frames appended after phase 1 are untouched: they live in
-  // the old file beyond snap_size and are copied in phase 3.
-  std::string data;
-  if (!SlurpFile(path_, &data)) {
-    return Status::IOError("cannot read log for truncation: " + path_);
-  }
-  data.resize(std::min(data.size(), snap_size));
-  ReplayStats stats;
-  size_t cut = 0;
-  uint64_t base_lsn = 0;
-  bool found_cut = false;
-  size_t cur_frame_begin = SIZE_MAX;
-  uint64_t cur_frame_first_lsn = 0;
-  ScanFrames(
-      data,
-      [&](const LogRecord&, uint64_t lsn, size_t begin, size_t) {
-        if (begin != cur_frame_begin) {
-          cur_frame_begin = begin;
-          cur_frame_first_lsn = lsn;
-        }
-        if (!found_cut && lsn > watermark_lsn) {
-          // A batch frame straddling the watermark is kept whole; the
-          // LSN base backs up to renumber its first record correctly.
-          found_cut = true;
-          cut = cur_frame_begin;
-          base_lsn = cur_frame_first_lsn - 1;
-        }
-      },
-      &stats);
-  if (!found_cut) {
-    cut = stats.bytes_consumed;
-    base_lsn = stats.last_lsn;
-  }
-
-  std::string head;
-  {
-    LogRecord tp;
-    tp.type = LogRecordType::kTruncationPoint;
-    tp.base_lsn = base_lsn;
-    std::string payload;
-    EncodePayload(tp, &payload);
-    AppendFrame(&head, payload);
-  }
-  std::string tmp = path_ + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr) return Status::IOError("cannot open temp log: " + tmp);
-  bool write_ok =
-      std::fwrite(head.data(), 1, head.size(), out) == head.size() &&
-      (data.size() == cut ||
-       std::fwrite(data.data() + cut, 1, data.size() - cut, out) ==
-           data.size() - cut);
-  if (!write_ok) {
-    std::fclose(out);
-    std::remove(tmp.c_str());
-    return Status::IOError("short write during log truncation");
-  }
-
-  // Phase 3 (mutex, O(appends since phase 1)): drain the buffer, copy
-  // the live suffix [snap_size, EOF) byte-for-byte, and swap handles.
-  std::lock_guard<std::mutex> g(mu_);
-  Status flush = FlushBufferLocked();
-  if (!flush.ok()) {
-    std::fclose(out);
-    std::remove(tmp.c_str());
-    return flush;
-  }
-  {
-    std::FILE* in = std::fopen(path_.c_str(), "rb");
-    if (in == nullptr || std::fseek(in, static_cast<long>(snap_size),
-                                    SEEK_SET) != 0) {
-      if (in != nullptr) std::fclose(in);
-      std::fclose(out);
-      std::remove(tmp.c_str());
-      return Status::IOError("cannot read log suffix for truncation");
-    }
-    char chunk[1 << 16];
-    size_t n;
-    while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
-      if (std::fwrite(chunk, 1, n, out) != n) {
-        std::fclose(in);
-        std::fclose(out);
-        std::remove(tmp.c_str());
-        return Status::IOError("short write during log truncation");
-      }
-    }
-    std::fclose(in);
-  }
-  write_ok = std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
-  std::fclose(out);
-  if (!write_ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot sync truncated log");
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot publish truncated log");
-  }
-  // Make the rename itself durable before dropping the old handle.
-  {
-    std::string dir = path_.find_last_of('/') == std::string::npos
-                          ? "."
-                          : path_.substr(0, path_.find_last_of('/'));
-    int fd = ::open(dir.c_str(), O_RDONLY);
-    if (fd >= 0) {
-      (void)::fsync(fd);
-      ::close(fd);
-    }
-  }
-  // Re-point the handle at the new file (the old inode is unlinked).
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot reopen truncated log: " + path_);
-  }
-  return Status::OK();
-}
-
-void RedoLog::ScanFrames(
-    const std::string& data,
-    const std::function<void(const LogRecord&, uint64_t lsn,
-                             size_t frame_begin, size_t frame_end)>& fn,
-    ReplayStats* stats) {
-  size_t pos = 0;
-  uint64_t lsn = 0;
-  stats->clean_end = true;
-  while (pos < data.size()) {
-    size_t frame_start = pos;
-    uint64_t len;
-    if (!GetVarint64(data, &pos, &len)) {  // torn length varint
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    size_t remain = data.size() - pos;
-    // Overflow-safe: a torn tail can present an absurd length whose
-    // naive `pos + len` bound check would wrap around.
-    if (remain < sizeof(uint32_t) || len > remain - sizeof(uint32_t)) {
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    const char* payload = data.data() + pos;
-    uint32_t stored;
-    std::memcpy(&stored, data.data() + pos + len, sizeof(stored));
-    if (Fnv1a32(payload, len) != stored) {  // corrupt frame
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    if (len > 0 &&
-        static_cast<LogRecordType>(payload[0]) == LogRecordType::kBatch) {
-      // One frame, N records: decode each sub-payload; every record
-      // carries its own LSN but shares the frame's byte span.
-      size_t sub_pos = 1;
-      uint64_t count = 0;
-      bool ok = GetVarint64(payload, len, &sub_pos, &count);
-      std::vector<LogRecord> recs;
-      for (uint64_t i = 0; ok && i < count; ++i) {
-        uint64_t sub_len = 0;
-        ok = GetVarint64(payload, len, &sub_pos, &sub_len) &&
-             sub_len <= len - sub_pos;
-        if (!ok) break;
-        recs.emplace_back();
-        ok = DecodePayload(payload + sub_pos, sub_len, &recs.back()) &&
-             recs.back().type != LogRecordType::kTruncationPoint &&
-             recs.back().type != LogRecordType::kBatch;
-        sub_pos += sub_len;
-      }
-      if (!ok || sub_pos != len) {  // malformed batch
-        stats->clean_end = false;
-        pos = frame_start;
-        break;
-      }
-      pos += len + sizeof(uint32_t);
-      for (const LogRecord& rec : recs) {
-        ++lsn;
-        stats->last_lsn = lsn;
-        if (fn) fn(rec, lsn, frame_start, pos);
-      }
-      continue;
-    }
-    LogRecord rec;
-    if (!DecodePayload(payload, len, &rec)) {  // malformed payload
-      stats->clean_end = false;
-      pos = frame_start;
-      break;
-    }
-    pos += len + sizeof(uint32_t);
-    if (rec.type == LogRecordType::kTruncationPoint) {
-      lsn = rec.base_lsn;
-      stats->base_lsn = rec.base_lsn;
-      stats->last_lsn = lsn;
-      continue;
-    }
-    ++lsn;
-    stats->last_lsn = lsn;
-    if (fn) fn(rec, lsn, frame_start, pos);
-  }
-  stats->bytes_consumed = pos;
-}
-
 Status RedoLog::Replay(
     const std::string& path,
     const std::function<void(const LogRecord&, uint64_t lsn)>& fn,
     ReplayStats* stats) {
-  std::string data;
-  if (!SlurpFile(path, &data)) {
-    return Status::IOError("cannot open log for replay");
-  }
-  ReplayStats local;
-  ScanFrames(
-      data,
-      [&fn](const LogRecord& rec, uint64_t lsn, size_t, size_t) {
-        if (fn) fn(rec, lsn);
+  Status s = FramedLog::ScanFile(
+      path, &RedoLog::ValidatePayload,
+      [&fn](std::string_view payload, uint64_t first_lsn, uint64_t, size_t,
+            size_t) {
+        if (!fn) return;
+        const char* data = payload.data();
+        size_t len = payload.size();
+        if (static_cast<LogRecordType>(data[0]) == LogRecordType::kBatch) {
+          // Already validated by the codec; deliver each sub-record
+          // with its own LSN.
+          size_t pos = 1;
+          uint64_t count = 0;
+          GetVarint64(data, len, &pos, &count);
+          LogRecord rec;
+          for (uint64_t i = 0; i < count; ++i) {
+            uint64_t sub_len = 0;
+            GetVarint64(data, len, &pos, &sub_len);
+            DecodePayload(data + pos, sub_len, &rec);
+            pos += sub_len;
+            fn(rec, first_lsn + i);
+          }
+          return;
+        }
+        LogRecord rec;
+        DecodePayload(data, len, &rec);
+        fn(rec, first_lsn);
       },
-      stats != nullptr ? stats : &local);
+      stats);
+  if (!s.ok()) return Status::IOError("cannot open log for replay");
   return Status::OK();
 }
 

@@ -7,28 +7,26 @@
 // rebuilt at recovery from the Base RID column / backpointers, so it
 // needs no log of its own (recovery option 2 in the paper).
 //
-// Record framing: [payload_len varint][payload][fnv1a32 checksum].
-// Payload starts with a type byte.
-//
-// Every record carries an implicit LSN: records are numbered 1, 2, ...
-// in append order. A log that has been truncated after a checkpoint
-// starts with a kTruncationPoint record whose base_lsn restores the
-// numbering, so LSNs are stable across truncations and a checkpoint
-// manifest can reference its watermark by LSN alone.
+// Record framing, LSN numbering, torn-tail repair, and truncation are
+// the shared framed-log core's (log/framed_log.h): this class is a
+// thin wrapper that owns only the redo payload codec — what the bytes
+// of a record MEAN. Records are numbered 1, 2, ... in append order; a
+// truncated log starts with a truncation-point record whose base_lsn
+// restores the numbering, so LSNs are stable across truncations and a
+// checkpoint manifest can reference its watermark by LSN alone.
 
 #ifndef LSTORE_LOG_REDO_LOG_H_
 #define LSTORE_LOG_REDO_LOG_H_
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "log/framed_log.h"
 
 namespace lstore {
 
@@ -63,23 +61,21 @@ struct LogRecord {
 /// buffer and are flushed together when a commit record arrives.
 class RedoLog {
  public:
-  /// Outcome of scanning a log file (replay or open-time repair).
-  struct ReplayStats {
-    uint64_t base_lsn = 0;    ///< LSN numbering base (truncation point)
-    uint64_t last_lsn = 0;    ///< LSN of the last well-formed record
-    size_t bytes_consumed = 0;///< file prefix covered by good frames
-    bool clean_end = true;    ///< false: stopped at a torn/corrupt frame
-  };
+  using ReplayStats = FramedLog::ScanStats;
 
-  RedoLog() = default;
-  ~RedoLog();
+  RedoLog() : framed_(&RedoLog::ValidatePayload) {}
+
+  RedoLog(const RedoLog&) = delete;
+  RedoLog& operator=(const RedoLog&) = delete;
 
   /// Open for appending. An existing file is scanned to restore the
   /// LSN counter; a torn tail (crash mid-write) is truncated away so
   /// new appends are not hidden behind garbage.
-  Status Open(const std::string& path, bool truncate);
-  void Close();
-  bool is_open() const { return file_ != nullptr; }
+  Status Open(const std::string& path, bool truncate) {
+    return framed_.Open(path, truncate);
+  }
+  void Close() { framed_.Close(); }
+  bool is_open() const { return framed_.is_open(); }
 
   /// Append one record; returns its LSN.
   uint64_t Append(const LogRecord& rec);
@@ -109,34 +105,31 @@ class RedoLog {
   uint64_t AppendBatch(const std::vector<LogRecord>& recs);
 
   /// LSN of the most recently appended record (0 = empty log).
-  uint64_t last_lsn() const {
-    return last_lsn_.load(std::memory_order_acquire);
-  }
+  uint64_t last_lsn() const { return framed_.last_lsn(); }
 
   /// Flush buffered records to the OS; fsync when `sync`.
-  Status Flush(bool sync);
+  Status Flush(bool sync) { return framed_.Flush(sync); }
 
   /// Test hook: counts fsyncs issued by Flush(sync=true) so group
   /// commit tests can assert fsync count < committer count.
   void set_sync_counter(std::atomic<uint64_t>* counter) {
-    sync_counter_ = counter;
+    framed_.set_sync_counter(counter);
   }
 
   /// Drop every record with LSN <= watermark (checkpoint truncation,
-  /// Section 5.1.3): the retained tail is rewritten behind a
-  /// kTruncationPoint record via temp file + atomic rename. The bulk
-  /// of the work (scanning the prefix, writing the retained tail) runs
-  /// WITHOUT the log mutex, so concurrent commits are stalled only for
-  /// the O(appends-since-scan) handle swap, not for the whole rewrite.
-  /// A batch frame straddling the watermark is retained whole; the
-  /// truncation point's LSN base backs up accordingly so numbering
-  /// stays stable (replay filters the already-checkpointed prefix).
-  Status TruncateTo(uint64_t watermark_lsn);
+  /// Section 5.1.3) via the framed core's three-phase low-lock
+  /// rewrite. With a `seal` sink (log archiving), the retired prefix
+  /// is handed over durably before the truncated log is published.
+  Status TruncateTo(uint64_t watermark_lsn,
+                    const FramedLog::SealSink& seal = nullptr) {
+    return framed_.TruncateTo(watermark_lsn, seal);
+  }
 
   /// Replay every well-formed record, stopping cleanly at the first
   /// torn or corrupt frame (crash tail). Static: operates on a closed
   /// file. The extended overload reports each record's LSN and fills
-  /// `stats` (recovered-up-to LSN, torn-tail flag).
+  /// `stats` (recovered-up-to LSN, torn-tail flag). Archive segments
+  /// sealed from this log replay through the same entry point.
   static Status Replay(const std::string& path,
                        const std::function<void(const LogRecord&)>& fn);
   static Status Replay(
@@ -148,46 +141,15 @@ class RedoLog {
   static void EncodePayload(const LogRecord& rec, std::string* out);
   static bool DecodePayload(const char* data, size_t size, LogRecord* rec);
 
+  /// The framed-log codec for redo payloads: full validation (batch
+  /// sub-records included) + LSN count. Exposed so the archive
+  /// stitcher can scan sealed redo segments.
+  static bool ValidatePayload(const char* payload, size_t len,
+                              uint64_t* lsn_count);
+
  private:
-  /// Scan `data`, invoking `fn` per good non-truncation-point frame
-  /// with its LSN and byte span; fills `stats`. The single source of
-  /// truth for frame parsing (Replay, Open repair, and TruncateTo).
-  static void ScanFrames(
-      const std::string& data,
-      const std::function<void(const LogRecord&, uint64_t lsn,
-                               size_t frame_begin, size_t frame_end)>& fn,
-      ReplayStats* stats);
-
-  static void AppendFrame(std::string* out, const std::string& payload);
-
-  /// Flush `buffer_` into `file_` (caller holds mu_).
-  Status FlushBufferLocked();
-
-  std::FILE* file_ = nullptr;
-  std::string path_;
-  std::mutex mu_;
-  /// Serializes whole truncations against each other (mu_ still
-  /// protects every file_/buffer_ touch). Ordering: truncate_mu_
-  /// before mu_.
-  std::mutex truncate_mu_;
-  std::string buffer_;
-  std::atomic<uint64_t> last_lsn_{0};
-  std::atomic<uint64_t>* sync_counter_ = nullptr;
+  FramedLog framed_;
 };
-
-/// FNV-1a 32-bit checksum over a byte range.
-uint32_t Fnv1a32(const char* data, size_t n);
-
-/// Incremental FNV-1a 64-bit (whole-file checksums of checkpoints).
-inline constexpr uint64_t kFnv1a64Seed = 14695981039346656037ull;
-inline uint64_t Fnv1a64(const char* data, size_t n,
-                        uint64_t h = kFnv1a64Seed) {
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 }  // namespace lstore
 
