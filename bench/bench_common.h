@@ -21,6 +21,7 @@
 #include "bench_harness/engines.h"
 #include "bench_harness/runner.h"
 #include "bench_harness/workload.h"
+#include "obs/metrics.h"
 
 namespace lstore {
 namespace bench {
@@ -63,6 +64,41 @@ inline void EmitMetric(const char* bench, const std::string& metric,
                "\"unit\":\"%s\",\"scale\":%llu}\n",
                bench, metric.c_str(), value, unit,
                static_cast<unsigned long long>(EnvScale()));
+  std::fclose(f);
+}
+
+/// Dump an engine-metrics section into the bench JSON: every counter
+/// and gauge as one row, and each histogram as count/p50/p95/p99/p999
+/// rows. Rows carry `bench` and a `section` label so BENCH_ci.json
+/// keeps bench throughput and engine internals side by side.
+inline void EmitSnapshot(const char* bench, const char* section,
+                         const MetricsSnapshot& snap) {
+  const char* path = std::getenv("LSTORE_BENCH_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  auto row = [&](const std::string& metric, double value, const char* unit) {
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"section\":\"%s\",\"metric\":\"%s\","
+                 "\"value\":%.3f,\"unit\":\"%s\",\"scale\":%llu}\n",
+                 bench, section, metric.c_str(), value, unit,
+                 static_cast<unsigned long long>(EnvScale()));
+  };
+  for (const auto& c : snap.counters) {
+    row(c.name, static_cast<double>(c.value), "count");
+  }
+  for (const auto& g : snap.gauges) {
+    row(g.name, static_cast<double>(g.value), "value");
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.hist.count == 0) continue;
+    row(h.name + ".count", static_cast<double>(h.hist.count), "count");
+    row(h.name + ".p50", static_cast<double>(h.hist.Percentile(0.5)), "le");
+    row(h.name + ".p95", static_cast<double>(h.hist.Percentile(0.95)), "le");
+    row(h.name + ".p99", static_cast<double>(h.hist.Percentile(0.99)), "le");
+    row(h.name + ".p999", static_cast<double>(h.hist.Percentile(0.999)),
+        "le");
+  }
   std::fclose(f);
 }
 

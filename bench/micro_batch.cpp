@@ -216,6 +216,18 @@ int main() {
                  scan_rows / best, "rows/s");
       std::fflush(stdout);
     }
+
+    // Engine-side view of the same run: partition latencies and merge
+    // work from the table's own registry, dumped into the bench JSON.
+    MetricsSnapshot snap = table->metrics()->Snapshot();
+    EmitSnapshot("micro_batch", "engine", snap);
+    if (const auto* h = snap.FindHistogram("lstore_query_partition_ns");
+        h != nullptr && h->hist.count > 0) {
+      std::printf("\nscan partitions: %llu, p50=%lluns p99=%lluns\n",
+                  static_cast<unsigned long long>(h->hist.count),
+                  static_cast<unsigned long long>(h->hist.Percentile(0.5)),
+                  static_cast<unsigned long long>(h->hist.Percentile(0.99)));
+    }
   }
 
   std::filesystem::remove_all(dir);

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "checkpoint/checkpoint_manager.h"
+#include "obs/trace.h"
 
 namespace lstore {
 
@@ -173,6 +174,7 @@ void ArchiveManager::PruneSubsumed(const std::string& stem, uint64_t lo,
 
 Status ArchiveManager::SealSegment(const std::string& name,
                                    std::string_view bytes) {
+  uint64_t seal_t0 = (kTraceEnabled && seal_ns_ != nullptr) ? NowNanos() : 0;
   std::string path = archive_dir_ + "/" + name;
   LSTORE_RETURN_IF_ERROR(WriteFileAtomic(path, bytes));
   std::string stem;
@@ -180,6 +182,8 @@ Status ArchiveManager::SealSegment(const std::string& name,
   if (ParseArcName(name, &stem, &lo, &hi)) {
     PruneSubsumed(stem, lo, hi, path);
   }
+  if (seals_total_ != nullptr) seals_total_->Add(1);
+  if (seal_t0 != 0) seal_ns_->Record(NowNanos() - seal_t0);
   return Status::OK();
 }
 
@@ -295,6 +299,7 @@ Status ArchiveManager::EnforceRetention() {
       opts_.archive_max_age_seconds == 0) {
     return Status::OK();
   }
+  LSTORE_TRACE(retention_ns_);
   std::lock_guard<std::mutex> g(mu_);
   uint64_t now = static_cast<uint64_t>(::time(nullptr));
 

@@ -38,6 +38,7 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace lstore {
 
@@ -60,6 +61,18 @@ class ArchiveManager {
 
   bool enabled() const { return opts_.archive_enabled; }
   const std::string& archive_dir() const { return archive_dir_; }
+
+  /// Wire registry metrics: seal counts/durations and retention-pass
+  /// durations. Call before concurrent use (Database::Open does).
+  void set_metrics(MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    seals_total_ = registry->GetCounter("lstore_archive_seals_total",
+                                        "Log prefixes sealed into segments");
+    seal_ns_ = registry->GetHistogram("lstore_archive_seal_ns",
+                                      "Segment seal duration (ns)");
+    retention_ns_ = registry->GetHistogram(
+        "lstore_archive_retention_ns", "Retention enforcement pass (ns)");
+  }
 
   /// Create the archive directory and sweep stale .tmp files (a crash
   /// mid-seal leaves at most one; the sealed data still lives in the
@@ -128,6 +141,9 @@ class ArchiveManager {
   /// Serializes mutations (seals, retention) — checkpoints already
   /// serialize them, this is belt-and-braces for direct test use.
   std::mutex mu_;
+  Counter* seals_total_ = nullptr;
+  Histogram* seal_ns_ = nullptr;
+  Histogram* retention_ns_ = nullptr;
 };
 
 }  // namespace lstore

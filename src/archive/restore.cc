@@ -37,6 +37,7 @@
 #include "log/commit_log.h"
 #include "log/framed_log.h"
 #include "log/redo_log.h"
+#include "obs/trace.h"
 
 namespace lstore {
 
@@ -112,6 +113,9 @@ Status StitchSegments(const std::vector<ArchiveSegment>& segments,
 Status Database::RestoreToPoint(const std::string& dir,
                                 const RestorePoint& point,
                                 std::unique_ptr<Database>* out) {
+  // Manual timing: the duration lands in the RESTORED database's
+  // registry, which only exists on the success path.
+  uint64_t restore_t0 = kTraceEnabled ? NowNanos() : 0;
   std::vector<CatalogEntry> catalog;
   bool catalog_exists = false;
   LSTORE_RETURN_IF_ERROR(ReadCatalog(dir, &catalog, &catalog_exists));
@@ -281,6 +285,13 @@ Status Database::RestoreToPoint(const std::string& dir,
     if (ct > max_commit) max_commit = ct;
   }
   if (max_commit > 0) db->txn_manager_.clock().AdvanceTo(max_commit + 1);
+
+  if (restore_t0 != 0) {
+    db->metrics_
+        .GetHistogram("lstore_restore_ns",
+                      "Point-in-time restore duration (ns)")
+        ->Record(NowNanos() - restore_t0);
+  }
 
   *out = std::move(db);
   return Status::OK();

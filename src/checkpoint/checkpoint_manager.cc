@@ -16,6 +16,7 @@
 #include "core/table.h"
 #include "log/commit_log.h"
 #include "log/redo_log.h"
+#include "obs/trace.h"
 #include "storage/compression/varint.h"
 
 namespace lstore {
@@ -357,6 +358,7 @@ Status CheckpointManager::RunCheckpoint() {
   // managed segments are captured by reference into the table's
   // segment store; the store fsync below makes every referenced byte
   // range durable BEFORE the manifest that names it is published.
+  uint64_t capture_t0 = kTraceEnabled ? NowNanos() : 0;
   for (size_t i = 0; i < tables.size(); ++i) {
     Table* t = tables[i].second;
     ManifestEntry& e = m.entries[i];
@@ -369,6 +371,13 @@ Status CheckpointManager::RunCheckpoint() {
     }
     e.secondary_columns = t->SecondaryColumns();
     new_files.push_back(e.file);
+  }
+  if (kTraceEnabled) {
+    db_->metrics_
+        .GetHistogram("lstore_checkpoint_capture_ns",
+                      "Checkpoint capture phase: table files + store "
+                      "fsyncs (ns)")
+        ->Record(NowNanos() - capture_t0);
   }
 
   // Archive watermarks, recorded in the manifest BEFORE it publishes:
@@ -441,6 +450,7 @@ Status CheckpointManager::RunCheckpoint() {
   // with archiving on, sealed into LSN-range-named segments (durable
   // before each truncated log publishes, so no crash point loses log
   // bytes).
+  uint64_t truncate_t0 = kTraceEnabled ? NowNanos() : 0;
   if (opts_.truncate_log_after_checkpoint) {
     for (size_t i = 0; i < tables.size(); ++i) {
       Table* t = tables[i].second;
@@ -468,6 +478,16 @@ Status CheckpointManager::RunCheckpoint() {
       if (!ss.ok() && status.ok()) status = ss;
     }
   }
+  if (kTraceEnabled) {
+    db_->metrics_
+        .GetHistogram(
+            "lstore_checkpoint_truncate_ns",
+            "Checkpoint truncation phase: log seal + rewrite (ns)")
+        ->Record(NowNanos() - truncate_t0);
+  }
+  db_->metrics_
+      .GetCounter("lstore_checkpoints_total", "Checkpoints published")
+      ->Add(1);
 
   std::lock_guard<std::mutex> g(mu_);
   for (const std::string& f : previous_files_) {

@@ -16,6 +16,7 @@
 namespace lstore {
 
 class BufferPool;
+class MetricsRegistry;
 class SegmentStore;
 
 struct TableConfig {
@@ -87,6 +88,13 @@ struct TableConfig {
   /// byte range while loading the checkpoint (wired from
   /// DurabilityOptions::verify_segment_store_on_open).
   bool verify_segment_refs = false;
+
+  /// Metrics registry the table records into (src/obs/metrics.h).
+  /// Wired by the owning Database so every table of a database shares
+  /// one registry; nullptr = a standalone table creates an owned
+  /// registry, so Table::metrics() is always valid. Not persisted to
+  /// the catalog.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Durability knobs of a database directory (Section 5.1.3). A durable
@@ -149,6 +157,12 @@ struct DurabilityOptions {
   uint64_t archive_max_bytes = 0;        ///< total bytes under <dir>/archive
   uint64_t archive_max_segments = 0;     ///< number of .arc segments
   uint64_t archive_max_age_seconds = 0;  ///< age horizon (file mtimes)
+
+  /// Background stats reporter (src/obs/reporter.h): every this many
+  /// milliseconds, append one JSON MetricsSnapshot line to
+  /// <dir>/metrics.log for post-mortem timelines. 0 (default) = no
+  /// reporter thread.
+  uint64_t metrics_report_interval_ms = 0;
 
   /// Eagerly verify every segment-store byte range the checkpoint
   /// references during Open (reads the ranges back and checks their

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/table.h"
+#include "obs/trace.h"
 
 namespace lstore {
 
@@ -61,6 +62,7 @@ Status GroupCommitQueue::Commit(Transaction* txn, Timestamp commit_time,
     }
   }
 
+  if (kTraceEnabled && queue_wait_ns_ != nullptr) req.enqueue_ns = NowNanos();
   std::unique_lock<std::mutex> lk(mu_);
   queue_.push_back(&req);
   cv_.notify_all();
@@ -98,6 +100,16 @@ Status GroupCommitQueue::Commit(Transaction* txn, Timestamp commit_time,
 void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
   std::lock_guard<std::mutex> window(window_mu_);
   batches_.fetch_add(1, std::memory_order_relaxed);
+  if (batches_total_ != nullptr) batches_total_->Add(1);
+  if (batch_size_ != nullptr) batch_size_->Record(batch.size());
+  if (kTraceEnabled && queue_wait_ns_ != nullptr) {
+    uint64_t now = NowNanos();
+    for (Request* r : batch) {
+      if (r->enqueue_ns != 0) queue_wait_ns_->Record(now - r->enqueue_ns);
+    }
+  }
+  uint64_t fanout_t0 =
+      (kTraceEnabled && fanout_flush_ns_ != nullptr) ? NowNanos() : 0;
 
   // 1. Flush every distinct table log touched by the batch exactly
   // once: the payloads (and single-table commit records) of every
@@ -124,6 +136,7 @@ void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
       }
     }
   }
+  if (fanout_t0 != 0) fanout_flush_ns_->Record(NowNanos() - fanout_t0);
 
   // 2. One commit-log record per surviving cross-table request; the
   // single flush below is their shared durability point.
@@ -135,7 +148,10 @@ void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
     }
   }
   if (any_cross) {
+    uint64_t flush_t0 =
+        (kTraceEnabled && commit_log_flush_ns_ != nullptr) ? NowNanos() : 0;
     Status cs = commit_log_->Flush(sync_);
+    if (flush_t0 != 0) commit_log_flush_ns_->Record(NowNanos() - flush_t0);
     if (!cs.ok()) {
       for (Request* r : batch) {
         if (r->cross && r->result.ok()) r->result = cs;
@@ -210,6 +226,12 @@ Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
 
   // 4. Publish: the state flip is the in-memory commit point for all
   // tables (readers that race see either the entry or the stamp).
+  // Stage metrics land in the first participant's registry — tables of
+  // a database share one registry, so the choice is cosmetic there.
+  Table* metered = !writers.empty() ? writers[0]
+                   : !readers.empty() ? readers[0]
+                                      : nullptr;
+  uint64_t publish_t0 = (kTraceEnabled && metered != nullptr) ? NowNanos() : 0;
   tm.MarkCommitted(txn);
 
   // 5. Post-commit: stamp Start Time slots so the manager entry can
@@ -217,6 +239,12 @@ Status CommitAcrossTables(TransactionManager& tm, Transaction* txn,
   for (Table* t : writers) t->StampWrites(txn, commit_time);
   tm.Retire(txn->id());
   txn->set_finished();
+  if (metered != nullptr) {
+    metered->obs_.commits->Add(1);
+    if (publish_t0 != 0) {
+      metered->obs_.commit_publish_ns->Record(NowNanos() - publish_t0);
+    }
+  }
   return Status::OK();
 }
 
@@ -233,6 +261,10 @@ void AbortAcrossTables(TransactionManager& tm, Transaction* txn,
   for (Table* t : writers) t->StampWrites(txn, kAbortedStamp);
   tm.Retire(txn->id());
   txn->set_finished();
+  Table* metered = !writers.empty() ? writers[0]
+                   : !readers.empty() ? readers[0]
+                                      : nullptr;
+  if (metered != nullptr) metered->obs_.aborts->Add(1);
 }
 
 }  // namespace lstore

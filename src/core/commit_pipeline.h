@@ -34,6 +34,7 @@
 
 #include "common/status.h"
 #include "log/commit_log.h"
+#include "obs/metrics.h"
 #include "txn/transaction.h"
 
 namespace lstore {
@@ -50,8 +51,28 @@ class TransactionManager;
 /// (DurabilityOptions::group_commit_window_us).
 class GroupCommitQueue {
  public:
-  GroupCommitQueue(CommitLog* commit_log, uint64_t window_us, bool sync)
-      : commit_log_(commit_log), window_us_(window_us), sync_(sync) {}
+  /// `registry` (optional) receives the stage metrics of every batch:
+  /// per-request queue wait, the leader's table-log flush fan-out and
+  /// commit-log flush durations, and batch sizes.
+  GroupCommitQueue(CommitLog* commit_log, uint64_t window_us, bool sync,
+                   MetricsRegistry* registry = nullptr)
+      : commit_log_(commit_log), window_us_(window_us), sync_(sync) {
+    if (registry != nullptr) {
+      queue_wait_ns_ = registry->GetHistogram(
+          "lstore_commit_queue_wait_ns",
+          "Group-commit queue wait before the batch leader ran (ns)");
+      fanout_flush_ns_ = registry->GetHistogram(
+          "lstore_commit_fanout_flush_ns",
+          "Leader's table-log flush fan-out per batch (ns)");
+      commit_log_flush_ns_ = registry->GetHistogram(
+          "lstore_commit_log_fsync_ns",
+          "Leader's commit-log flush (the commit point) per batch (ns)");
+      batch_size_ = registry->GetHistogram(
+          "lstore_group_commit_batch_size", "Commits per group-commit batch");
+      batches_total_ = registry->GetCounter(
+          "lstore_group_commit_batches_total", "Group-commit batches led");
+    }
+  }
 
   /// Make `txn` durable: flush `writers`' logs (payloads, plus the
   /// per-table commit record a single-table commit already appended);
@@ -91,6 +112,7 @@ class GroupCommitQueue {
     bool cross = false;
     bool done = false;
     Status result;
+    uint64_t enqueue_ns = 0;  ///< queue-wait metric (0 = not traced)
   };
 
   /// Leader body: runs the shared durability sequence for `batch`
@@ -107,6 +129,13 @@ class GroupCommitQueue {
   bool leader_active_ = false;
   std::mutex window_mu_;
   std::atomic<uint64_t> batches_{0};
+
+  /// Registry handles (null when no registry was wired).
+  Histogram* queue_wait_ns_ = nullptr;
+  Histogram* fanout_flush_ns_ = nullptr;
+  Histogram* commit_log_flush_ns_ = nullptr;
+  Histogram* batch_size_ = nullptr;
+  Counter* batches_total_ = nullptr;
 };
 
 /// Commit `txn` across whichever of `tables` it actually read or

@@ -14,6 +14,7 @@
 #include "checkpoint/checkpoint_manager.h"
 #include "core/commit_pipeline.h"
 #include "log/commit_log.h"
+#include "obs/reporter.h"
 
 namespace lstore {
 
@@ -21,9 +22,44 @@ namespace lstore {
 /// table name can collide with it.
 static constexpr char kCommitLogFile[] = "COMMIT_LOG";
 
-Database::Database() = default;
+Database::Database() {
+  // Snapshot-time collector: mirror levels kept by their subsystems
+  // into gauges — zero cost on the subsystems' hot paths. `this`
+  // outlives the registry (both are members), so the capture is safe.
+  metrics_.AddCollector([this](MetricsRegistry& r) {
+    BufferPoolStats bs = buffer_stats();
+    r.GetGauge("lstore_buffer_hits", "Buffer-pool resident pin hits")
+        ->Set(static_cast<int64_t>(bs.hits));
+    r.GetGauge("lstore_buffer_misses", "Buffer-pool demand loads")
+        ->Set(static_cast<int64_t>(bs.misses));
+    r.GetGauge("lstore_buffer_evictions", "Buffer-pool clock evictions")
+        ->Set(static_cast<int64_t>(bs.evictions));
+    r.GetGauge("lstore_buffer_cold_point_reads",
+               "Point reads decoded from cold fixed-width segments")
+        ->Set(static_cast<int64_t>(bs.cold_point_reads));
+    r.GetGauge("lstore_buffer_bytes_resident", "Resident payload bytes")
+        ->Set(static_cast<int64_t>(bs.bytes_resident));
+    r.GetGauge("lstore_buffer_budget_bytes", "Pool byte budget (0 = none)")
+        ->Set(static_cast<int64_t>(bs.budget_bytes));
+    r.GetGauge("lstore_buffer_pages", "Registered pages (resident or cold)")
+        ->Set(static_cast<int64_t>(bs.pages));
+    size_t epoch_pending = 0;
+    {
+      SpinGuard g(latch_);
+      for (const auto& e : tables_) {
+        epoch_pending += e.table->epochs().pending();
+      }
+    }
+    r.GetGauge("lstore_epoch_pending",
+               "Retired-but-unreclaimed epoch entries across tables")
+        ->Set(static_cast<int64_t>(epoch_pending));
+  });
+}
 
 Database::~Database() {
+  // Stop the reporter first: its snapshot callback walks tables and
+  // the buffer pool.
+  if (reporter_ != nullptr) reporter_->Stop();
   // Stop background checkpointing before tables are torn down (the
   // unique_ptr member order would do it too; be explicit).
   if (checkpoint_manager_ != nullptr) checkpoint_manager_->Stop();
@@ -59,6 +95,8 @@ Status Database::CreateTableInternal(const std::string& name, Schema schema,
       config.verify_segment_refs = durability_.verify_segment_store_on_open;
     }
   }
+  // Every table of a database records into the shared registry.
+  config.metrics = &metrics_;
   SpinGuard g(latch_);
   for (const auto& e : tables_) {
     if (e.name == name) return Status::AlreadyExists("table exists");
@@ -233,6 +271,7 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   // stale temp files) before the first checkpoint can truncate.
   if (opts.archive_enabled) {
     db->archive_ = std::make_unique<ArchiveManager>(dir, opts);
+    db->archive_->set_metrics(&db->metrics_);
     LSTORE_RETURN_IF_ERROR(db->archive_->EnsureDir());
   }
 
@@ -253,6 +292,21 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   std::unordered_map<TxnId, Timestamp> db_commits;
   db->commit_log_ = std::make_unique<CommitLog>();
   db->commit_log_->set_sync_counter(opts.sync_counter);
+  {
+    FramedLogMetrics clm;
+    clm.appends = db->metrics_.GetCounter("lstore_commit_log_appends_total",
+                                          "Commit-log records appended");
+    clm.append_bytes =
+        db->metrics_.GetCounter("lstore_commit_log_append_bytes_total",
+                                "Commit-log framed bytes appended");
+    clm.fsyncs = db->metrics_.GetCounter("lstore_commit_log_fsyncs_total",
+                                         "Commit-log commit-path fsyncs");
+    clm.append_ns = db->metrics_.GetHistogram(
+        "lstore_commit_log_append_ns", "Commit-log append latency (ns)");
+    clm.flush_ns = db->metrics_.GetHistogram(
+        "lstore_commit_log_flush_ns", "Commit-log flush latency (ns)");
+    db->commit_log_->set_metrics(clm);
+  }
   LSTORE_RETURN_IF_ERROR(db->commit_log_->Open(
       commit_log_path, /*truncate=*/false,
       [&db_commits](const CommitLogRecord& rec, uint64_t) {
@@ -266,7 +320,8 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
         }
       }));
   db->group_commit_ = std::make_unique<GroupCommitQueue>(
-      db->commit_log_.get(), opts.group_commit_window_us, opts.sync_commit);
+      db->commit_log_.get(), opts.group_commit_window_us, opts.sync_commit,
+      &db->metrics_);
 
   for (const CatalogEntry& ce : catalog) {
     TableConfig cfg = ce.config;
@@ -319,6 +374,12 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
     db->checkpoint_manager_->SetRecoveredManifest(manifest);
   }
   db->checkpoint_manager_->Start();
+  if (opts.metrics_report_interval_ms > 0) {
+    Database* raw = db.get();
+    db->reporter_ = std::make_unique<StatsReporter>(
+        dir + "/metrics.log", opts.metrics_report_interval_ms,
+        [raw] { return raw->Metrics(); });
+  }
   *out = std::move(db);
   return Status::OK();
 }

@@ -30,6 +30,7 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "core/table.h"
+#include "obs/metrics.h"
 #include "txn/txn.h"
 
 namespace lstore {
@@ -38,6 +39,7 @@ class ArchiveManager;
 class CheckpointManager;
 class CommitLog;
 class GroupCommitQueue;
+class StatsReporter;
 
 /// A point to restore to (Database::RestoreToPoint): either an
 /// inclusive commit time, or the LSN of a cross-table commit-log
@@ -168,11 +170,23 @@ class Database : public TxnContext {
   BufferPool* buffer_pool() { return buffer_pool_.get(); }
 
   /// Aggregate hit/miss/eviction/residency counters of the pool
-  /// (all-zero when no pool is configured).
+  /// (all-zero when no pool is configured). Thin view over the pool's
+  /// own counters; the same numbers appear as lstore_buffer_* gauges
+  /// in Metrics().
   BufferPoolStats buffer_stats() const {
     return buffer_pool_ != nullptr ? buffer_pool_->stats()
                                    : BufferPoolStats{};
   }
+
+  /// The engine-wide metrics registry shared by every table of this
+  /// database (src/obs/metrics.h).
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// One consistent snapshot of every engine metric: commit-stage and
+  /// group-commit timings, redo/commit-log traffic, merge durations,
+  /// buffer-pool and epoch levels, checkpoint/archive phases. Render
+  /// with MetricsSnapshot::RenderPrometheus() / RenderJson().
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
 
  private:
   friend class CheckpointManager;
@@ -195,6 +209,10 @@ class Database : public TxnContext {
 
   TransactionManager txn_manager_;
   mutable SpinLatch latch_;
+  /// Engine-wide metrics registry. Declared before every subsystem
+  /// that records into it (tables, logs, pipeline, checkpointing) so
+  /// the handles they cache stay valid for their whole lifetime.
+  MetricsRegistry metrics_;
   /// Serializes durable DDL (CreateTable/DropTable/CreateSecondaryIndex)
   /// against checkpoints: a checkpoint iterates raw Table pointers, so
   /// a concurrent drop must not destroy a table mid-capture. Ordering:
@@ -223,6 +241,10 @@ class Database : public TxnContext {
   std::unique_ptr<GroupCommitQueue> group_commit_;
   // Declared last: destroyed (and therefore stopped) before tables_.
   std::unique_ptr<CheckpointManager> checkpoint_manager_;
+  /// Background JSON-lines reporter (DurabilityOptions::
+  /// metrics_report_interval_ms). Last: stopped before anything it
+  /// samples is torn down (~Database also stops it explicitly).
+  std::unique_ptr<StatsReporter> reporter_;
 };
 
 }  // namespace lstore

@@ -11,6 +11,7 @@
 #include "common/bitutil.h"
 #include "core/historic.h"
 #include "core/table.h"
+#include "obs/trace.h"
 
 namespace lstore {
 
@@ -94,6 +95,9 @@ void MergeManager::Loop() {
 // ---------------------------------------------------------------------------
 
 bool Table::RunInsertMerge(Range& r) {
+  // Timed manually (not an RAII scope) so the no-op early returns do
+  // not dilute the duration histogram with empty calls.
+  uint64_t merge_t0 = kTraceEnabled ? NowNanos() : 0;
   SpinGuard g(r.merge_latch);
   // Pin the epoch: the pages of the segments we read from may be
   // evicted concurrently (buffer pool), and the handle contract
@@ -205,6 +209,10 @@ bool Table::RunInsertMerge(Range& r) {
   epochs_.Retire([rp, keep_from] { rp->inserts.DropRecordsBelow(keep_from); });
 
   stats_.insert_merges.fetch_add(1, std::memory_order_relaxed);
+  obs_.insert_rows_merged->Add(new_based - based);
+  if (kTraceEnabled) {
+    obs_.merge_insert_ns->Record(NowNanos() - merge_t0);
+  }
   return true;
 }
 
@@ -234,6 +242,8 @@ struct SlotMergeState {
 }  // namespace
 
 bool Table::RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns) {
+  // Timed manually — early returns (nothing to merge) are not samples.
+  uint64_t merge_t0 = kTraceEnabled ? NowNanos() : 0;
   SpinGuard g(r.merge_latch);
   // Pin the epoch for the whole consolidation: page handles over the
   // old segments require it (see RunInsertMerge).
@@ -423,6 +433,10 @@ bool Table::RunUpdateMerge(Range& r, ColumnMask data_cols, bool all_columns) {
   stats_.merges.fetch_add(1, std::memory_order_relaxed);
   stats_.tail_records_merged.fetch_add(new_tps - old_tps,
                                        std::memory_order_relaxed);
+  obs_.merge_rows->Add(new_tps - old_tps);
+  if (kTraceEnabled) {
+    obs_.merge_update_ns->Record(NowNanos() - merge_t0);
+  }
   return true;
 }
 

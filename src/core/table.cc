@@ -65,9 +65,58 @@ Table::Table(std::string name, Schema schema, TableConfig config,
     owned_txn_manager_ = std::make_unique<TransactionManager>();
     txn_manager_ = owned_txn_manager_.get();
   }
+  metrics_ = config_.metrics;
+  if (metrics_ == nullptr) {
+    // Standalone table: own a registry so metrics() is always valid,
+    // and mirror the epoch queue depth into it at snapshot time (a
+    // database-owned registry gets a database-wide collector instead).
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+    metrics_->AddCollector([this](MetricsRegistry& r) {
+      r.GetGauge("lstore_epoch_pending",
+                 "Retired-but-unreclaimed epoch entries")
+          ->Set(static_cast<int64_t>(epochs_.pending()));
+    });
+  }
+  obs_.merge_update_ns = metrics_->GetHistogram(
+      "lstore_merge_update_ns", "Update-merge duration per range (ns)");
+  obs_.merge_insert_ns = metrics_->GetHistogram(
+      "lstore_merge_insert_ns", "Insert-merge duration per range (ns)");
+  obs_.merge_historic_ns = metrics_->GetHistogram(
+      "lstore_merge_historic_ns", "Historic-compression duration (ns)");
+  obs_.query_partition_ns = metrics_->GetHistogram(
+      "lstore_query_partition_ns", "Query scan partition latency (ns)");
+  obs_.merge_rows = metrics_->GetCounter(
+      "lstore_merge_rows_consolidated_total",
+      "Tail records consolidated by update merges");
+  obs_.insert_rows_merged = metrics_->GetCounter(
+      "lstore_merge_insert_rows_total",
+      "Insert rows turned into base segments");
+  obs_.historic_versions = metrics_->GetCounter(
+      "lstore_merge_historic_versions_total",
+      "Versions moved into the historic store");
+  obs_.commit_publish_ns = metrics_->GetHistogram(
+      "lstore_commit_publish_ns",
+      "Commit publish stage: state flip + write stamping (ns)");
+  obs_.commits =
+      metrics_->GetCounter("lstore_commits_total", "Pipeline commits");
+  obs_.aborts =
+      metrics_->GetCounter("lstore_aborts_total", "Pipeline aborts");
   if (config_.enable_logging && !config_.log_path.empty()) {
     log_ = std::make_unique<RedoLog>();
     log_->set_sync_counter(config_.sync_counter);
+    FramedLogMetrics lm;
+    lm.appends = metrics_->GetCounter("lstore_redo_appends_total",
+                                      "Redo-log record frames appended");
+    lm.append_bytes = metrics_->GetCounter("lstore_redo_append_bytes_total",
+                                           "Redo-log framed bytes appended");
+    lm.fsyncs = metrics_->GetCounter("lstore_redo_fsyncs_total",
+                                     "Redo-log commit-path fsyncs");
+    lm.append_ns = metrics_->GetHistogram("lstore_redo_append_ns",
+                                          "Redo-log append latency (ns)");
+    lm.flush_ns = metrics_->GetHistogram("lstore_redo_flush_ns",
+                                         "Redo-log flush latency (ns)");
+    log_->set_metrics(lm);
     Status s = log_->Open(config_.log_path, /*truncate=*/false);
     if (!s.ok()) log_.reset();
   }

@@ -37,6 +37,7 @@
 #include "index/primary_index.h"
 #include "index/secondary_index.h"
 #include "log/redo_log.h"
+#include "obs/metrics.h"
 #include "storage/compressed_column.h"
 #include "storage/tail_segment.h"
 #include "txn/transaction.h"
@@ -247,6 +248,10 @@ class Table : public TxnContext {
   TransactionManager& txn_manager() { return *txn_manager_; }
   EpochManager& epochs() const { return epochs_; }
   TableStats& stats() const { return stats_; }
+  /// The metrics registry this table records into: the owning
+  /// database's (shared across its tables) or an owned one for
+  /// standalone tables — never null.
+  MetricsRegistry* metrics() const { return metrics_; }
   /// Buffer pool managing this table's base segments (nullptr = fully
   /// resident base pages).
   BufferPool* buffer_pool() const { return buffer_pool_; }
@@ -511,6 +516,25 @@ class Table : public TxnContext {
   std::string name_;
   Schema schema_;
   TableConfig config_;
+
+  /// Observability (src/obs/): injected by the owning Database or
+  /// owned (standalone tables). Handles used on recording paths are
+  /// looked up once here and cached — the hot paths never take the
+  /// registry mutex.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  struct MetricHandles {
+    Histogram* merge_update_ns = nullptr;    ///< update-merge duration
+    Histogram* merge_insert_ns = nullptr;    ///< insert-merge duration
+    Histogram* merge_historic_ns = nullptr;  ///< historic compression
+    Histogram* query_partition_ns = nullptr; ///< per-partition scan time
+    Counter* merge_rows = nullptr;           ///< tail records consolidated
+    Counter* insert_rows_merged = nullptr;   ///< insert rows based
+    Counter* historic_versions = nullptr;    ///< versions moved to historic
+    Histogram* commit_publish_ns = nullptr;  ///< state flip + write stamping
+    Counter* commits = nullptr;              ///< pipeline commits
+    Counter* aborts = nullptr;               ///< pipeline aborts
+  } obs_;
 
   /// The enclosing engine whose sessions are also valid here (the
   /// owning Database); set at registration, null for standalone tables.

@@ -87,6 +87,9 @@ class CommitLog {
     framed_.set_sync_counter(counter);
   }
 
+  /// Wire registry metrics (obs/metrics.h) into the framed core.
+  void set_metrics(const FramedLogMetrics& m) { framed_.set_metrics(m); }
+
   /// Deliver every well-formed record of the live log in append order
   /// (flushes the buffer first; does not fsync).
   Status Scan(const std::function<void(const CommitLogRecord&, uint64_t lsn)>&

@@ -36,8 +36,22 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace lstore {
+
+/// Registry handles a framed log records into (all optional): frames /
+/// bytes appended, commit-path fsyncs, and append/flush latencies.
+/// Wired by the owner (Table for redo logs, Database for the commit
+/// log) with per-log metric names; a default-constructed struct (all
+/// null) records nothing.
+struct FramedLogMetrics {
+  Counter* appends = nullptr;       ///< record frames appended
+  Counter* append_bytes = nullptr;  ///< framed bytes appended
+  Counter* fsyncs = nullptr;        ///< Flush(sync=true) calls
+  Histogram* append_ns = nullptr;   ///< Append latency (lock + buffer)
+  Histogram* flush_ns = nullptr;    ///< Flush latency (write [+ fsync])
+};
 
 /// FNV-1a 32-bit checksum over a byte range (per-frame checksums).
 uint32_t Fnv1a32(const char* data, size_t n);
@@ -118,10 +132,15 @@ class FramedLog {
   }
 
   /// Test hook: counts fsyncs issued by Flush(sync=true) so group
-  /// commit tests can assert fsync count < committer count.
+  /// commit tests can assert fsync count < committer count. Kept as a
+  /// compatibility shim alongside set_metrics — both are incremented.
   void set_sync_counter(std::atomic<uint64_t>* counter) {
     sync_counter_ = counter;
   }
+
+  /// Wire registry metrics (obs/metrics.h). Must be called before the
+  /// log sees concurrent use (handles are read without a lock).
+  void set_metrics(const FramedLogMetrics& m) { metrics_ = m; }
 
   /// Drop every record with LSN <= watermark: the retained tail is
   /// rewritten behind a truncation-point record via temp file + atomic
@@ -164,6 +183,13 @@ class FramedLog {
   /// Flush `buffer_` into `file_` (caller holds mu_).
   Status FlushBufferLocked();
 
+  /// Push the accumulated append/byte tallies to the registry
+  /// counters (caller holds mu_). Appends tally into plain members on
+  /// the mutex-protected path and publish every 64 frames and at every
+  /// flush, so a sub-microsecond append never pays sharded-atomic
+  /// traffic of its own.
+  void PublishPendingLocked();
+
   Codec codec_;
   std::FILE* file_ = nullptr;
   std::string path_;
@@ -175,6 +201,9 @@ class FramedLog {
   std::string buffer_;
   std::atomic<uint64_t> last_lsn_{0};
   std::atomic<uint64_t>* sync_counter_ = nullptr;
+  FramedLogMetrics metrics_;
+  uint64_t pending_appends_ = 0;      ///< under mu_, batched to metrics_
+  uint64_t pending_append_bytes_ = 0; ///< under mu_, batched to metrics_
 };
 
 }  // namespace lstore

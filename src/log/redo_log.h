@@ -116,6 +116,9 @@ class RedoLog {
     framed_.set_sync_counter(counter);
   }
 
+  /// Wire registry metrics (obs/metrics.h) into the framed core.
+  void set_metrics(const FramedLogMetrics& m) { framed_.set_metrics(m); }
+
   /// Drop every record with LSN <= watermark (checkpoint truncation,
   /// Section 5.1.3) via the framed core's three-phase low-lock
   /// rewrite. With a `seal` sink (log archiving), the retired prefix

@@ -1,0 +1,78 @@
+// Lightweight stage tracing: an RAII scope that records its own
+// duration (nanoseconds) into a Histogram, compiled to NOTHING when
+// tracing is disabled.
+//
+// Usage — per-stage latency with one line at the top of a scope:
+//
+//   Histogram* h = registry->GetHistogram("lstore_merge_update_ns");
+//   ...
+//   { LSTORE_TRACE(h); RunUpdateMerge(range); }
+//
+// The macro expands to a TraceScope local when LSTORE_TRACE_ENABLED
+// (the default; CMake option LSTORE_TRACING=OFF defines it to 0) and
+// to nothing otherwise — zero overhead when disabled, by construction.
+// A null histogram is also free of effect, so call sites never need a
+// null check. For multi-stage timing inside one scope, branch on
+// kTraceEnabled and use NowNanos() directly:
+//
+//   uint64_t t0 = kTraceEnabled ? NowNanos() : 0;
+//   ...stage...
+//   if (kTraceEnabled && hist != nullptr) hist->Record(NowNanos() - t0);
+
+#ifndef LSTORE_OBS_TRACE_H_
+#define LSTORE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+#ifndef LSTORE_TRACE_ENABLED
+#define LSTORE_TRACE_ENABLED 1
+#endif
+
+namespace lstore {
+
+/// Monotonic clock reading in nanoseconds (steady across suspends of
+/// the wall clock; the only clock timing sites use).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// True when stage tracing is compiled in: timing sites branch on this
+/// so a disabled build pays not even the clock reads.
+inline constexpr bool kTraceEnabled = LSTORE_TRACE_ENABLED != 0;
+
+/// RAII duration recorder; null-safe (hist == nullptr records nothing).
+class TraceScope {
+ public:
+  explicit TraceScope(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? NowNanos() : 0) {}
+  ~TraceScope() {
+    if (hist_ != nullptr) hist_->Record(NowNanos() - start_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+}  // namespace lstore
+
+#if LSTORE_TRACE_ENABLED
+#define LSTORE_TRACE_CAT2(a, b) a##b
+#define LSTORE_TRACE_CAT(a, b) LSTORE_TRACE_CAT2(a, b)
+#define LSTORE_TRACE(hist) \
+  ::lstore::TraceScope LSTORE_TRACE_CAT(lstore_trace_scope_, __LINE__)(hist)
+#else
+#define LSTORE_TRACE(hist) \
+  do {                     \
+  } while (false)
+#endif
+
+#endif  // LSTORE_OBS_TRACE_H_

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4) on stdin.
+
+Used by CI: ./build/examples/metrics_tour | tools/check_prometheus.py
+
+Checks, per line:
+  - comments are well-formed `# HELP <name> ...` / `# TYPE <name> <type>`
+  - samples are `name[{labels}] value` with a legal metric name and a
+    finite numeric value
+  - every TYPE declaration precedes its samples, and no name is typed
+    twice
+Exits 0 with a summary on success, 1 with the offending line otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABELS_RE = re.compile(
+    r"^\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}$"
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+# summary/histogram samples may carry these suffixes on the base name
+SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def fail(lineno, line, why):
+    print(f"check_prometheus: line {lineno}: {why}: {line!r}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    typed = {}  # name -> type
+    samples = 0
+    for lineno, raw in enumerate(sys.stdin, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment is legal
+            name = parts[2]
+            if not NAME_RE.match(name):
+                fail(lineno, line, "bad metric name in comment")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    fail(lineno, line, "bad TYPE")
+                if name in typed:
+                    fail(lineno, line, "duplicate TYPE declaration")
+                typed[name] = parts[3]
+            continue
+        # sample: name[{labels}] value [timestamp]
+        m = re.match(r"^(\S+?)(\{.*\})?\s+(\S+)(\s+\S+)?$", line)
+        if not m:
+            fail(lineno, line, "not a sample line")
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            fail(lineno, line, "bad metric name")
+        if labels and not LABELS_RE.match(labels):
+            fail(lineno, line, "bad label syntax")
+        try:
+            v = float(value)
+        except ValueError:
+            fail(lineno, line, "non-numeric value")
+        if math.isnan(v) or math.isinf(v):
+            fail(lineno, line, "non-finite value")
+        base = name
+        for suf in SUFFIXES:
+            if name.endswith(suf) and name[: -len(suf)] in typed:
+                base = name[: -len(suf)]
+                break
+        if base not in typed:
+            fail(lineno, line, "sample without preceding TYPE")
+        samples += 1
+    if samples == 0:
+        print("check_prometheus: no samples on stdin", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prometheus: OK ({samples} samples, {len(typed)} metrics)")
+
+
+if __name__ == "__main__":
+    main()
