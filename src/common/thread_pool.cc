@@ -99,14 +99,34 @@ void ThreadPool::ParallelFor(uint64_t num_tasks, uint32_t max_workers,
   }
 }
 
+namespace {
+/// Desired shared-pool size from ConfigureShared: -1 = unset, else the
+/// exact worker count. -2 marks "pool already built" so later calls
+/// can report that configuration no longer applies.
+std::atomic<int64_t> g_shared_pool_threads{-1};
+}  // namespace
+
+bool ThreadPool::ConfigureShared(uint32_t threads) {
+  int64_t expected = -1;
+  return g_shared_pool_threads.compare_exchange_strong(
+             expected, static_cast<int64_t>(threads),
+             std::memory_order_acq_rel) ||
+         expected == static_cast<int64_t>(threads);
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* pool = [] {
     uint32_t n = std::thread::hardware_concurrency();
+    uint32_t workers = n > 0 ? n - 1 : 0;
+    int64_t configured = g_shared_pool_threads.load(std::memory_order_acquire);
+    if (configured >= 0) workers = static_cast<uint32_t>(configured);
     if (const char* env = std::getenv("LSTORE_SCAN_THREADS")) {
       long v = std::atol(env);
-      if (v >= 0) n = static_cast<uint32_t>(v) + 1;
+      if (v >= 0) workers = static_cast<uint32_t>(v);
     }
-    return new ThreadPool(n > 0 ? n - 1 : 0);
+    // Later ConfigureShared calls must see that the size is frozen.
+    g_shared_pool_threads.store(-2, std::memory_order_release);
+    return new ThreadPool(workers);
   }();
   return *pool;
 }

@@ -47,6 +47,17 @@ class ThreadPool {
   /// workers (overridable via LSTORE_SCAN_THREADS).
   static ThreadPool& Shared();
 
+  /// Set the worker-thread count the shared pool is built with, so
+  /// co-resident executors (server workers vs. parallel Query
+  /// partitions) can split the core budget instead of both sizing to
+  /// the whole machine. Takes effect only BEFORE the pool's lazy
+  /// construction (first Shared() call); the first configuration
+  /// wins, and the LSTORE_SCAN_THREADS env knob overrides both.
+  /// Returns false when the pool was already built (or already
+  /// configured) with a different count — callers treat that as
+  /// advisory, not an error.
+  static bool ConfigureShared(uint32_t threads);
+
  private:
   struct Job {
     std::function<void(uint64_t)> fn;

@@ -12,6 +12,7 @@
 
 #include "archive/archive_manager.h"
 #include "checkpoint/checkpoint_manager.h"
+#include "common/thread_pool.h"
 #include "core/commit_pipeline.h"
 #include "log/commit_log.h"
 #include "obs/reporter.h"
@@ -254,6 +255,12 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   auto db = std::unique_ptr<Database>(new Database());
   db->dir_ = dir;
   db->durability_ = opts;
+
+  // Size the shared scan pool before anything can lazily build it
+  // (first-configuration-wins; see ThreadPool::ConfigureShared).
+  if (opts.scan_threads != 0) {
+    ThreadPool::ConfigureShared(opts.scan_threads);
+  }
 
   // Buffer-managed base storage: a byte budget (option, or the
   // LSTORE_BUFFER_POOL_BYTES test knob) turns on demand paging of base

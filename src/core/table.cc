@@ -1164,6 +1164,10 @@ void Table::LogTailAppend(const Range& r, uint32_t seq, bool insert,
 
 Status Table::Read(Transaction* txn, Value key, ColumnMask mask,
                    std::vector<Value>* out) {
+  // Unknown mask bits are ignored, so ~0ull reads every column — and
+  // a hostile mask (e.g. from the network service) cannot index past
+  // the column store.
+  mask &= schema_.AllColumns();
   out->assign(schema_.num_columns(), kNull);
   Rid rid = primary_.Get(key);
   if (rid == kInvalidRid) return Status::NotFound("no such key");
@@ -1184,6 +1188,7 @@ Status Table::Read(Transaction* txn, Value key, ColumnMask mask,
 
 Status Table::SpeculativeRead(Transaction* txn, Value key, ColumnMask mask,
                               std::vector<Value>* out) {
+  mask &= schema_.AllColumns();  // unknown bits are ignored (see Read)
   out->assign(schema_.num_columns(), kNull);
   Rid rid = primary_.Get(key);
   if (rid == kInvalidRid) return Status::NotFound("no such key");
@@ -1207,6 +1212,7 @@ Status Table::SpeculativeRead(Transaction* txn, Value key, ColumnMask mask,
 
 Status Table::ReadAsOf(Value key, Timestamp as_of, ColumnMask mask,
                        std::vector<Value>* out) {
+  mask &= schema_.AllColumns();  // unknown bits are ignored (see Read)
   out->assign(schema_.num_columns(), kNull);
   Rid rid = primary_.Get(key);
   if (rid == kInvalidRid) return Status::NotFound("no such key");
@@ -1225,6 +1231,7 @@ Status Table::MultiRead(Txn& txn, const std::vector<Value>& keys,
                         ColumnMask mask, std::vector<std::vector<Value>>* rows,
                         std::vector<Status>* statuses) {
   LSTORE_RETURN_IF_ERROR(CheckActive(txn));
+  mask &= schema_.AllColumns();  // unknown bits are ignored (see Read)
   Transaction* t = txn.raw();
   rows->assign(keys.size(), {});
   if (statuses != nullptr) statuses->assign(keys.size(), Status::OK());

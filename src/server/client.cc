@@ -1,0 +1,338 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lstore {
+
+namespace {
+
+/// Rebuild a Status from its wire code + message.
+Status MakeStatus(uint8_t code, const std::string& msg) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk: return Status::OK();
+    case Status::Code::kNotFound: return Status::NotFound(msg);
+    case Status::Code::kAlreadyExists: return Status::AlreadyExists(msg);
+    case Status::Code::kAborted: return Status::Aborted(msg);
+    case Status::Code::kInvalidArgument: return Status::InvalidArgument(msg);
+    case Status::Code::kIOError: return Status::IOError(msg);
+    case Status::Code::kCorruption: return Status::Corruption(msg);
+    case Status::Code::kNotSupported: return Status::NotSupported(msg);
+    case Status::Code::kBusy: return Status::Busy(msg);
+  }
+  return Status::Corruption("unknown status code");
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Call(wire::Op op, const std::string& body,
+                    std::string* resp_body) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  uint32_t id = next_request_id_++;
+  std::string payload;
+  payload.reserve(body.size() + 5);
+  wire::PutU32(&payload, id);
+  wire::PutU8(&payload, static_cast<uint8_t>(op));
+  payload.append(body);
+  Status s = wire::WriteFrame(fd_, payload);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+
+  std::string resp;
+  s = wire::ReadFrame(fd_, max_frame_bytes_, &resp);
+  if (!s.ok()) {
+    Close();
+    return s.IsNotFound() ? Status::IOError("server closed the connection")
+                          : s;
+  }
+  wire::Reader in(resp);
+  uint32_t resp_id = 0;
+  uint8_t code = 0;
+  std::string message;
+  if (!in.U32(&resp_id) || !in.U8(&code) || !in.String(&message) ||
+      code > static_cast<uint8_t>(Status::Code::kBusy)) {
+    Close();
+    return Status::Corruption("malformed response");
+  }
+  if (resp_id != id) {
+    // This client never pipelines, so any id mismatch means the
+    // stream is out of step — unrecoverable for a blocking caller.
+    Close();
+    return Status::Corruption("response id mismatch");
+  }
+  if (code != 0) return MakeStatus(code, message);
+  if (resp_body != nullptr) *resp_body = std::string(in.rest());
+  return Status::OK();
+}
+
+Status Client::Ping() { return Call(wire::Op::kPing, {}, nullptr); }
+
+Status Client::Begin(IsolationLevel iso) {
+  std::string body;
+  wire::PutU8(&body, static_cast<uint8_t>(iso));
+  return Call(wire::Op::kBegin, body, nullptr);
+}
+
+Status Client::Commit() { return Call(wire::Op::kCommit, {}, nullptr); }
+
+Status Client::Abort() { return Call(wire::Op::kAbort, {}, nullptr); }
+
+Status Client::CreateTable(const std::string& table,
+                           const std::vector<std::string>& columns) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU32(&body, static_cast<uint32_t>(columns.size()));
+  for (const auto& c : columns) wire::PutString(&body, c);
+  return Call(wire::Op::kCreateTable, body, nullptr);
+}
+
+Status Client::ListTables(std::vector<std::string>* names) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kListTables, {}, &resp));
+  wire::Reader in(resp);
+  uint32_t n = 0;
+  if (!in.U32(&n)) return Status::Corruption("malformed ListTables response");
+  names->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!in.String(&s)) {
+      return Status::Corruption("malformed ListTables response");
+    }
+    names->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+Status Client::GetSchema(const std::string& table,
+                         std::vector<std::string>* columns) {
+  std::string body, resp;
+  wire::PutString(&body, table);
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kSchema, body, &resp));
+  wire::Reader in(resp);
+  uint32_t n = 0;
+  if (!in.U32(&n)) return Status::Corruption("malformed Schema response");
+  columns->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!in.String(&s)) return Status::Corruption("malformed Schema response");
+    columns->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+Status Client::Insert(const std::string& table,
+                      const std::vector<Value>& row) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutValues(&body, row);
+  return Call(wire::Op::kInsert, body, nullptr);
+}
+
+Status Client::Read(const std::string& table, Value key, ColumnMask mask,
+                    std::vector<Value>* row) {
+  std::string body, resp;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, key);
+  wire::PutU64(&body, mask);
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kRead, body, &resp));
+  wire::Reader in(resp);
+  if (!in.Values(row)) return Status::Corruption("malformed Read response");
+  return Status::OK();
+}
+
+Status Client::Update(const std::string& table, Value key, ColumnMask mask,
+                      const std::vector<Value>& row) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, key);
+  wire::PutU64(&body, mask);
+  wire::PutValues(&body, row);
+  return Call(wire::Op::kUpdate, body, nullptr);
+}
+
+Status Client::Delete(const std::string& table, Value key) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, key);
+  return Call(wire::Op::kDelete, body, nullptr);
+}
+
+Status Client::MultiRead(const std::string& table,
+                         const std::vector<Value>& keys, ColumnMask mask,
+                         std::vector<std::vector<Value>>* rows,
+                         std::vector<Status>* statuses) {
+  std::string body, resp;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, mask);
+  wire::PutValues(&body, keys);
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kMultiRead, body, &resp));
+  wire::Reader in(resp);
+  uint32_t ncodes = 0;
+  if (!in.Rows(rows) || !in.U32(&ncodes) || ncodes != keys.size()) {
+    return Status::Corruption("malformed MultiRead response");
+  }
+  if (statuses != nullptr) statuses->clear();
+  for (uint32_t i = 0; i < ncodes; ++i) {
+    uint8_t code = 0;
+    if (!in.U8(&code)) {
+      return Status::Corruption("malformed MultiRead response");
+    }
+    if (statuses != nullptr) statuses->push_back(MakeStatus(code, ""));
+  }
+  return Status::OK();
+}
+
+Status Client::InsertBatch(const std::string& table,
+                           const std::vector<std::vector<Value>>& rows) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutRows(&body, rows);
+  return Call(wire::Op::kInsertBatch, body, nullptr);
+}
+
+Status Client::UpdateBatch(const std::string& table,
+                           const std::vector<Value>& keys, ColumnMask mask,
+                           const std::vector<std::vector<Value>>& rows) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, mask);
+  wire::PutValues(&body, keys);
+  wire::PutRows(&body, rows);
+  return Call(wire::Op::kUpdateBatch, body, nullptr);
+}
+
+Status Client::DeleteBatch(const std::string& table,
+                           const std::vector<Value>& keys) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutValues(&body, keys);
+  return Call(wire::Op::kDeleteBatch, body, nullptr);
+}
+
+Status Client::RunQuery(const std::string& table, wire::QueryKind kind,
+                        ColumnId col, const QuerySpec& spec,
+                        std::string* resp) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU8(&body, static_cast<uint8_t>(kind));
+  wire::PutU32(&body, col);
+  wire::PutU64(&body, spec.first_row);
+  wire::PutU64(&body, spec.row_count);
+  wire::PutU64(&body, spec.as_of);
+  wire::PutU32(&body, static_cast<uint32_t>(spec.where.size()));
+  for (const auto& [fcol, fval] : spec.where) {
+    wire::PutU32(&body, fcol);
+    wire::PutU64(&body, fval);
+  }
+  return Call(wire::Op::kQuery, body, resp);
+}
+
+namespace {
+Status DecodeAggregate(const std::string& resp, uint64_t* value,
+                       uint64_t* visible_rows) {
+  wire::Reader in(resp);
+  uint64_t v = 0, rows = 0;
+  if (!in.U64(&v) || !in.U64(&rows)) {
+    return Status::Corruption("malformed Query response");
+  }
+  if (value != nullptr) *value = v;
+  if (visible_rows != nullptr) *visible_rows = rows;
+  return Status::OK();
+}
+}  // namespace
+
+Status Client::Sum(const std::string& table, ColumnId col,
+                   const QuerySpec& spec, uint64_t* sum,
+                   uint64_t* visible_rows) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      RunQuery(table, wire::QueryKind::kSum, col, spec, &resp));
+  return DecodeAggregate(resp, sum, visible_rows);
+}
+
+Status Client::Count(const std::string& table, const QuerySpec& spec,
+                     uint64_t* count) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      RunQuery(table, wire::QueryKind::kCount, 0, spec, &resp));
+  return DecodeAggregate(resp, count, nullptr);
+}
+
+Status Client::Min(const std::string& table, ColumnId col,
+                   const QuerySpec& spec, Value* out,
+                   uint64_t* visible_rows) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      RunQuery(table, wire::QueryKind::kMin, col, spec, &resp));
+  return DecodeAggregate(resp, out, visible_rows);
+}
+
+Status Client::Max(const std::string& table, ColumnId col,
+                   const QuerySpec& spec, Value* out,
+                   uint64_t* visible_rows) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      RunQuery(table, wire::QueryKind::kMax, col, spec, &resp));
+  return DecodeAggregate(resp, out, visible_rows);
+}
+
+Status Client::Keys(const std::string& table, const QuerySpec& spec,
+                    std::vector<Value>* keys) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      RunQuery(table, wire::QueryKind::kKeys, 0, spec, &resp));
+  wire::Reader in(resp);
+  if (!in.Values(keys)) return Status::Corruption("malformed Keys response");
+  return Status::OK();
+}
+
+Status Client::Metrics(std::string* prometheus_text) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kMetrics, {}, &resp));
+  wire::Reader in(resp);
+  if (!in.String(prometheus_text)) {
+    return Status::Corruption("malformed Metrics response");
+  }
+  return Status::OK();
+}
+
+}  // namespace lstore

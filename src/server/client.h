@@ -1,0 +1,121 @@
+// Blocking client for the L-Store network service (src/server/).
+//
+// One Client = one connection = one server-side session: BEGIN opens
+// the session's transaction, COMMIT/ABORT close it, and closing the
+// connection (or the Client) auto-aborts whatever is still open on
+// the server. Point/batch/query calls issued outside BEGIN..COMMIT
+// run as server-side auto-committed one-shots.
+//
+// The client is intentionally synchronous — one request in flight at
+// a time — so it is trivially correct to use from tests, benches, and
+// the CLI. It is not thread-safe; use one Client per thread (each
+// gets its own session, which is exactly the isolation the tests
+// want to exercise).
+
+#ifndef LSTORE_SERVER_CLIENT_H_
+#define LSTORE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "server/wire.h"
+#include "txn/transaction.h"
+
+namespace lstore {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- session -------------------------------------------------------------
+
+  Status Ping();
+  Status Begin(IsolationLevel iso = IsolationLevel::kReadCommitted);
+  Status Commit();
+  Status Abort();
+
+  // --- DDL / catalog -------------------------------------------------------
+
+  Status CreateTable(const std::string& table,
+                     const std::vector<std::string>& columns);
+  Status ListTables(std::vector<std::string>* names);
+  Status GetSchema(const std::string& table,
+                   std::vector<std::string>* columns);
+
+  // --- point and batch operations ------------------------------------------
+
+  Status Insert(const std::string& table, const std::vector<Value>& row);
+  Status Read(const std::string& table, Value key, ColumnMask mask,
+              std::vector<Value>* row);
+  Status Update(const std::string& table, Value key, ColumnMask mask,
+                const std::vector<Value>& row);
+  Status Delete(const std::string& table, Value key);
+
+  /// rows->at(i) holds keys[i]'s columns (empty when missing);
+  /// statuses (optional) receives each key's individual outcome.
+  Status MultiRead(const std::string& table, const std::vector<Value>& keys,
+                   ColumnMask mask, std::vector<std::vector<Value>>* rows,
+                   std::vector<Status>* statuses = nullptr);
+  Status InsertBatch(const std::string& table,
+                     const std::vector<std::vector<Value>>& rows);
+  Status UpdateBatch(const std::string& table, const std::vector<Value>& keys,
+                     ColumnMask mask,
+                     const std::vector<std::vector<Value>>& rows);
+  Status DeleteBatch(const std::string& table,
+                     const std::vector<Value>& keys);
+
+  // --- queries -------------------------------------------------------------
+
+  /// Wire form of the Query builder: row range, equality filters,
+  /// time travel. (Predicate filters cannot cross the wire.)
+  struct QuerySpec {
+    uint64_t first_row = 0;
+    uint64_t row_count = ~0ull;
+    uint64_t as_of = 0;  ///< 0 = server-side Now()
+    std::vector<std::pair<ColumnId, Value>> where;  ///< equality filters
+  };
+
+  Status Sum(const std::string& table, ColumnId col, const QuerySpec& spec,
+             uint64_t* sum, uint64_t* visible_rows = nullptr);
+  Status Count(const std::string& table, const QuerySpec& spec,
+               uint64_t* count);
+  Status Min(const std::string& table, ColumnId col, const QuerySpec& spec,
+             Value* out, uint64_t* visible_rows = nullptr);
+  Status Max(const std::string& table, ColumnId col, const QuerySpec& spec,
+             Value* out, uint64_t* visible_rows = nullptr);
+  Status Keys(const std::string& table, const QuerySpec& spec,
+              std::vector<Value>* keys);
+
+  // --- observability -------------------------------------------------------
+
+  /// The server's Database::Metrics() as Prometheus exposition text.
+  Status Metrics(std::string* prometheus_text);
+
+ private:
+  /// Send [id][op][body], await the matching response, surface its
+  /// status, and leave the OK body in *resp_body.
+  Status Call(wire::Op op, const std::string& body, std::string* resp_body);
+
+  Status RunQuery(const std::string& table, wire::QueryKind kind,
+                  ColumnId col, const QuerySpec& spec, std::string* resp);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  uint32_t max_frame_bytes_ = wire::kDefaultMaxFrameBytes;
+};
+
+}  // namespace lstore
+
+#endif  // LSTORE_SERVER_CLIENT_H_

@@ -1,0 +1,274 @@
+// lstore_cli: minimal command-line client (and server launcher) for
+// the L-Store network service, so humans and CI can poke a live
+// server.
+//
+//   lstore_cli serve <dir|:memory:> [--port P] [--workers N]
+//              [--queue N] [--inflight N]     start a server, block
+//   lstore_cli [--host H] [--port P] <command> [args]
+//
+// Client commands:
+//   ping                              round-trip check
+//   tables                            list tables
+//   create <table> <col> [col...]    create a table (col 0 = key)
+//   put <table> <key> [val...]       insert one row
+//   get <table> <key>                 read all columns
+//   del <table> <key>                 delete one key
+//   load <table> <nrows> [--batch B] [--start K]
+//                                     batch-load rows (retries Busy)
+//   sum <table> <col>                 SUM(col) + visible rows
+//   count <table>                     COUNT(*)
+//   metrics                           Prometheus exposition dump
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using namespace lstore;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lstore_cli serve <dir|:memory:> [--port P] "
+               "[--workers N] [--queue N] [--inflight N]\n"
+               "       lstore_cli [--host H] [--port P] "
+               "ping|tables|create|put|get|del|load|sum|count|metrics ...\n");
+  return 2;
+}
+
+int Fail(const char* what, const Status& s) {
+  std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+  return 1;
+}
+
+uint64_t ParseU64(const char* s) {
+  return static_cast<uint64_t>(std::strtoull(s, nullptr, 10));
+}
+
+int Serve(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  std::string dir = args[0];
+  ServerConfig cfg;
+  for (size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return Usage();
+    uint64_t v = ParseU64(args[i + 1].c_str());
+    if (args[i] == "--port") cfg.port = static_cast<uint16_t>(v);
+    else if (args[i] == "--workers") cfg.workers = static_cast<uint32_t>(v);
+    else if (args[i] == "--queue") cfg.max_queue_depth = static_cast<uint32_t>(v);
+    else if (args[i] == "--inflight") {
+      cfg.max_inflight_per_session = static_cast<uint32_t>(v);
+    } else {
+      return Usage();
+    }
+  }
+
+  std::unique_ptr<Database> db;
+  if (dir == ":memory:") {
+    db = std::make_unique<Database>();
+  } else {
+    Status s = Database::Open(dir, DurabilityOptions{}, &db);
+    if (!s.ok()) return Fail("open", s);
+  }
+
+  Server server(db.get(), cfg);
+  Status s = server.Start();
+  if (!s.ok()) return Fail("start", s);
+  std::printf("listening on %s:%u (%s)\n", cfg.host.c_str(), server.port(),
+              dir.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("stopped\n");
+  return 0;
+}
+
+void PrintRow(Value key, const std::vector<Value>& row) {
+  std::printf("%llu:", static_cast<unsigned long long>(key));
+  for (Value v : row) {
+    if (v == kNull) {
+      std::printf(" \xE2\x88\x85");  // ∅
+    } else {
+      std::printf(" %llu", static_cast<unsigned long long>(v));
+    }
+  }
+  std::printf("\n");
+}
+
+int Load(Client& client, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const std::string& table = args[0];
+  uint64_t nrows = ParseU64(args[1].c_str());
+  uint64_t batch = 1024, start = 0;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--batch" && i + 1 < args.size()) {
+      batch = ParseU64(args[++i].c_str());
+    } else if (args[i] == "--start" && i + 1 < args.size()) {
+      start = ParseU64(args[++i].c_str());
+    } else {
+      return Usage();
+    }
+  }
+  if (batch == 0) batch = 1;
+
+  // The schema fetch is subject to the same admission control as the
+  // load itself: back off through a Busy burst instead of giving up.
+  std::vector<std::string> columns;
+  uint64_t loaded = 0, busy_retries = 0;
+  Status s;
+  while ((s = client.GetSchema(table, &columns)).IsBusy()) {
+    ++busy_retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!s.ok()) return Fail("schema", s);
+  while (loaded < nrows) {
+    uint64_t n = std::min(batch, nrows - loaded);
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::vector<Value> row(columns.size());
+      row[0] = start + loaded + i;
+      for (size_t c = 1; c < row.size(); ++c) row[c] = (loaded + i) % 1000;
+      rows.push_back(std::move(row));
+    }
+    s = client.InsertBatch(table, rows);
+    if (s.IsBusy()) {
+      // Admission control said no: back off and retry the batch.
+      ++busy_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    if (!s.ok()) return Fail("load", s);
+    loaded += n;
+  }
+  std::printf("loaded %llu rows into %s (busy retries: %llu)\n",
+              static_cast<unsigned long long>(loaded), table.c_str(),
+              static_cast<unsigned long long>(busy_retries));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+
+  if (args[0] == "serve") {
+    return Serve({args.begin() + 1, args.end()});
+  }
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 7471;
+  size_t i = 0;
+  while (i + 1 < args.size() &&
+         (args[i] == "--host" || args[i] == "--port")) {
+    if (args[i] == "--host") host = args[i + 1];
+    else port = static_cast<uint16_t>(ParseU64(args[i + 1].c_str()));
+    i += 2;
+  }
+  if (i >= args.size()) return Usage();
+  std::string cmd = args[i++];
+  std::vector<std::string> rest(args.begin() + i, args.end());
+
+  Client client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) return Fail("connect", s);
+
+  if (cmd == "ping") {
+    s = client.Ping();
+    if (!s.ok()) return Fail("ping", s);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "tables") {
+    std::vector<std::string> names;
+    s = client.ListTables(&names);
+    if (!s.ok()) return Fail("tables", s);
+    for (const auto& n : names) std::printf("%s\n", n.c_str());
+    return 0;
+  }
+  if (cmd == "create") {
+    if (rest.size() < 2) return Usage();
+    s = client.CreateTable(rest[0], {rest.begin() + 1, rest.end()});
+    if (!s.ok()) return Fail("create", s);
+    std::printf("created %s\n", rest[0].c_str());
+    return 0;
+  }
+  if (cmd == "put") {
+    if (rest.size() < 2) return Usage();
+    std::vector<std::string> columns;
+    s = client.GetSchema(rest[0], &columns);
+    if (!s.ok()) return Fail("schema", s);
+    std::vector<Value> row(columns.size(), 0);
+    for (size_t c = 0; c + 1 < rest.size() && c < row.size(); ++c) {
+      row[c] = ParseU64(rest[c + 1].c_str());
+    }
+    s = client.Insert(rest[0], row);
+    if (!s.ok()) return Fail("put", s);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (cmd == "get") {
+    if (rest.size() != 2) return Usage();
+    std::vector<Value> row;
+    Value key = ParseU64(rest[1].c_str());
+    s = client.Read(rest[0], key, ~0ull, &row);
+    if (!s.ok()) return Fail("get", s);
+    PrintRow(key, row);
+    return 0;
+  }
+  if (cmd == "del") {
+    if (rest.size() != 2) return Usage();
+    s = client.Delete(rest[0], ParseU64(rest[1].c_str()));
+    if (!s.ok()) return Fail("del", s);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (cmd == "load") {
+    return Load(client, rest);
+  }
+  if (cmd == "sum") {
+    if (rest.size() != 2) return Usage();
+    uint64_t sum = 0, rows = 0;
+    s = client.Sum(rest[0], static_cast<ColumnId>(ParseU64(rest[1].c_str())),
+                   {}, &sum, &rows);
+    if (!s.ok()) return Fail("sum", s);
+    std::printf("sum=%llu rows=%llu\n", static_cast<unsigned long long>(sum),
+                static_cast<unsigned long long>(rows));
+    return 0;
+  }
+  if (cmd == "count") {
+    if (rest.size() != 1) return Usage();
+    uint64_t count = 0;
+    s = client.Count(rest[0], {}, &count);
+    if (!s.ok()) return Fail("count", s);
+    std::printf("count=%llu\n", static_cast<unsigned long long>(count));
+    return 0;
+  }
+  if (cmd == "metrics") {
+    std::string text;
+    s = client.Metrics(&text);
+    if (!s.ok()) return Fail("metrics", s);
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  return Usage();
+}
