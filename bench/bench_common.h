@@ -9,18 +9,25 @@
 #ifndef LSTORE_BENCH_BENCH_COMMON_H_
 #define LSTORE_BENCH_BENCH_COMMON_H_
 
+#include <pthread.h>
+#include <sched.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_harness/engines.h"
 #include "bench_harness/runner.h"
 #include "bench_harness/workload.h"
+#include "common/random.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 
 namespace lstore {
@@ -139,6 +146,385 @@ inline std::unique_ptr<Engine> LoadedEngine(EngineKind kind,
   engine->Load(cfg.table_rows);
   return engine;
 }
+
+// ===========================================================================
+// Shared bench-driver API: every driver binary parses the same flag
+// vocabulary, times phases with the same clock helpers, captures
+// per-op latencies in the same reservoir, and gates on the same
+// declarative SLO spec. bench/workload.cpp, the migrated per-figure
+// drivers, and `lstore_cli bench` all sit on this.
+// ===========================================================================
+
+using BenchClock = std::chrono::steady_clock;
+
+/// Seconds between two steady-clock points.
+inline double Secs(BenchClock::time_point a, BenchClock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+/// Monotonic nanoseconds (per-op latency timestamps).
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          BenchClock::now().time_since_epoch())
+          .count());
+}
+
+/// Exit with a message when a setup step fails (drivers have no
+/// meaningful recovery from a failed open/create/load).
+inline void Must(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Best-effort pin of the calling thread to one core (foreground
+/// workload threads pin to distinct cores so tail latencies measure
+/// the engine, not the scheduler's migrations). No-op on failure.
+inline void PinToCore(uint32_t index) {
+#if defined(__linux__)
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % cores, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+/// Fixed-capacity latency sample reservoir (uniform reservoir
+/// sampling past the cap), giving exact-sample percentiles that the
+/// engine's log-scale histograms can be validated against. One
+/// reservoir per (thread, op class); merge after the threads join.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 1u << 16, uint64_t seed = 7)
+      : cap_(capacity), rng_(seed) {}
+
+  void Record(uint64_t ns) {
+    ++count_;
+    if (samples_.size() < cap_) {
+      samples_.push_back(ns);
+    } else {
+      uint64_t i = rng_.Uniform(count_);
+      if (i < cap_) samples_[i] = ns;
+    }
+  }
+
+  /// Pool another reservoir's samples. Exact when neither overflowed
+  /// its cap; otherwise a same-rate approximation (fine for the
+  /// equal-duration worker threads this is used for).
+  void Merge(const LatencyReservoir& other) {
+    count_ += other.count_;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  uint64_t count() const { return count_; }
+
+  /// q in [0, 1]; 0 when empty.
+  uint64_t PercentileNs(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<uint64_t> sorted = samples_;
+    size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+    return sorted[idx];
+  }
+
+  double PercentileUs(double q) const { return PercentileNs(q) / 1000.0; }
+
+ private:
+  size_t cap_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> samples_;
+  Random rng_;
+};
+
+/// Operation mix of the workload driver, in percent (must total 100).
+struct OpMix {
+  uint32_t read = 95;
+  uint32_t insert = 0;
+  uint32_t update = 5;
+  uint32_t del = 0;
+  uint32_t scan = 0;
+  uint32_t multiread = 0;
+
+  /// Parse "read=70,update=20,insert=5,delete=1,scan=2,multiread=2".
+  /// Named classes are set, omitted ones zeroed.
+  bool Parse(const std::string& spec, std::string* err) {
+    OpMix m{0, 0, 0, 0, 0, 0};
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t eq = spec.find('=', pos);
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      if (eq == std::string::npos || eq > comma) {
+        *err = "bad op mix term: " + spec.substr(pos, comma - pos);
+        return false;
+      }
+      std::string name = spec.substr(pos, eq - pos);
+      uint32_t pct =
+          static_cast<uint32_t>(std::strtoul(spec.c_str() + eq + 1, nullptr, 10));
+      if (name == "read") m.read = pct;
+      else if (name == "insert") m.insert = pct;
+      else if (name == "update") m.update = pct;
+      else if (name == "delete") m.del = pct;
+      else if (name == "scan") m.scan = pct;
+      else if (name == "multiread") m.multiread = pct;
+      else {
+        *err = "unknown op class: " + name;
+        return false;
+      }
+      pos = comma + 1;
+    }
+    if (m.read + m.insert + m.update + m.del + m.scan + m.multiread != 100) {
+      *err = "op mix must total 100%";
+      return false;
+    }
+    *this = m;
+    return true;
+  }
+
+  std::string ToString() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "read=%u,insert=%u,update=%u,delete=%u,scan=%u,multiread=%u",
+                  read, insert, update, del, scan, multiread);
+    return buf;
+  }
+};
+
+/// Declarative SLO bounds checked against a driver's measured stats:
+///   --slo p99_read_us=500,p999_update_us=2000,min_total_ops_s=10000
+/// Plain terms are upper bounds on a stat; a `min_` prefix makes the
+/// term a lower bound on the stat named by the rest. A bound naming a
+/// stat the run did not produce is itself a violation (a gate must
+/// never pass because its metric silently vanished).
+struct SloSpec {
+  struct Bound {
+    std::string stat;  ///< key into the stats map
+    double limit = 0;
+    bool lower = false;  ///< true: stat must be >= limit
+  };
+  std::vector<Bound> bounds;
+
+  bool empty() const { return bounds.empty(); }
+
+  bool Parse(const std::string& spec, std::string* err) {
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t eq = spec.find('=', pos);
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      if (eq == std::string::npos || eq > comma) {
+        *err = "bad SLO term: " + spec.substr(pos, comma - pos);
+        return false;
+      }
+      Bound b;
+      b.stat = spec.substr(pos, eq - pos);
+      b.limit = std::strtod(spec.c_str() + eq + 1, nullptr);
+      if (b.stat.rfind("min_", 0) == 0) {
+        b.lower = true;
+        b.stat = b.stat.substr(4);
+      }
+      if (b.stat.empty()) {
+        *err = "empty SLO stat name";
+        return false;
+      }
+      bounds.push_back(std::move(b));
+      pos = comma + 1;
+    }
+    return true;
+  }
+
+  /// Append a human-readable line per violated bound; returns the
+  /// number of violations.
+  uint32_t Check(const std::map<std::string, double>& stats,
+                 std::vector<std::string>* violations) const {
+    uint32_t bad = 0;
+    for (const Bound& b : bounds) {
+      auto it = stats.find(b.stat);
+      char line[256];
+      if (it == stats.end()) {
+        std::snprintf(line, sizeof(line), "SLO VIOLATION: %s was not measured",
+                      b.stat.c_str());
+        violations->push_back(line);
+        ++bad;
+        continue;
+      }
+      bool ok = b.lower ? it->second >= b.limit : it->second <= b.limit;
+      if (!ok) {
+        std::snprintf(line, sizeof(line),
+                      "SLO VIOLATION: %s = %.1f (bound: %s %.1f)",
+                      b.stat.c_str(), it->second, b.lower ? ">=" : "<=",
+                      b.limit);
+        violations->push_back(line);
+        ++bad;
+      }
+    }
+    return bad;
+  }
+};
+
+/// The shared driver flag vocabulary. Defaults come from the same
+/// LSTORE_BENCH_* environment knobs the per-figure drivers always
+/// used, so flag-less invocations behave exactly as before.
+struct BenchArgs {
+  uint64_t rows = EnvScale();            ///< --rows: preloaded table rows
+  std::vector<uint32_t> threads;         ///< --threads 1,2,4 (sweep points)
+  uint64_t duration_ms = EnvDurationMs();  ///< --duration-ms per point
+  uint64_t warmup_ms = 200;              ///< --warmup-ms before measuring
+  double theta = 0.99;                   ///< --theta: zipf skew; 0 = uniform
+  uint64_t seed = 42;                    ///< --seed
+  OpMix mix;                             ///< --mix
+  uint32_t columns = 5;                  ///< --columns: key + data columns
+  uint32_t scan_rows = 1024;             ///< --scan-rows per scan op
+  uint32_t batch = 16;                   ///< --batch: multiread batch size
+  uint32_t pipeline = 8;                 ///< --pipeline: wire in-flight depth
+  bool pin = true;                       ///< --pin 0|1: core-pin workers
+  bool memory = false;                   ///< --memory: in-memory database
+  bool sync = false;                     ///< --sync 0|1: fsync on commit
+  std::string mode = "inproc";           ///< --mode inproc|wire
+  std::string host = "127.0.0.1";        ///< --host (wire)
+  uint16_t port = 0;                     ///< --port (wire; 0 = self-hosted)
+  uint32_t server_workers = 0;           ///< --workers (self-hosted server)
+  std::string table = "usertable";       ///< --table (wire)
+  SloSpec slo;                           ///< --slo
+
+  /// Parse argv; unknown flags (or --help) print usage and fail.
+  /// Flags a specific driver ignores are still accepted, so the whole
+  /// suite shares one vocabulary.
+  bool Parse(int argc, char** argv, std::string* err) {
+    for (int i = 1; i < argc; ++i) {
+      std::string flag = argv[i];
+      // Fetch the flag's value argument; sets *err when it is absent.
+      auto need = [&](const char** out) {
+        if (i + 1 >= argc) {
+          *err = "missing value for " + flag;
+          return false;
+        }
+        *out = argv[++i];
+        return true;
+      };
+      auto u32 = [](const char* s) {
+        return static_cast<uint32_t>(std::strtoul(s, nullptr, 10));
+      };
+      const char* v = nullptr;
+      if (flag == "--rows" || flag == "--scale") {
+        if (!need(&v)) return false;
+        rows = std::strtoull(v, nullptr, 10);
+      } else if (flag == "--threads") {
+        if (!need(&v)) return false;
+        threads.clear();
+        for (const char* p = v; *p != '\0';) {
+          threads.push_back(u32(p));
+          while (*p != '\0' && *p != ',') ++p;
+          if (*p == ',') ++p;
+        }
+        if (threads.empty()) {
+          *err = "--threads needs a comma list";
+          return false;
+        }
+      } else if (flag == "--duration-ms") {
+        if (!need(&v)) return false;
+        duration_ms = std::strtoull(v, nullptr, 10);
+      } else if (flag == "--warmup-ms") {
+        if (!need(&v)) return false;
+        warmup_ms = std::strtoull(v, nullptr, 10);
+      } else if (flag == "--theta") {
+        if (!need(&v)) return false;
+        theta = std::strtod(v, nullptr);
+      } else if (flag == "--dist") {
+        if (!need(&v)) return false;
+        std::string d = v;
+        if (d == "uniform") {
+          theta = 0.0;
+        } else if (d != "zipfian") {
+          *err = "--dist must be zipfian or uniform";
+          return false;
+        }
+      } else if (flag == "--seed") {
+        if (!need(&v)) return false;
+        seed = std::strtoull(v, nullptr, 10);
+      } else if (flag == "--mix") {
+        if (!need(&v)) return false;
+        if (!mix.Parse(v, err)) return false;
+      } else if (flag == "--columns") {
+        if (!need(&v)) return false;
+        columns = std::max(2u, u32(v));
+      } else if (flag == "--scan-rows") {
+        if (!need(&v)) return false;
+        scan_rows = u32(v);
+      } else if (flag == "--batch") {
+        if (!need(&v)) return false;
+        batch = std::max(1u, u32(v));
+      } else if (flag == "--pipeline") {
+        if (!need(&v)) return false;
+        pipeline = std::max(1u, u32(v));
+      } else if (flag == "--pin") {
+        if (!need(&v)) return false;
+        pin = u32(v) != 0;
+      } else if (flag == "--memory") {
+        memory = true;
+      } else if (flag == "--sync") {
+        if (!need(&v)) return false;
+        sync = u32(v) != 0;
+      } else if (flag == "--mode") {
+        if (!need(&v)) return false;
+        mode = v;
+        if (mode != "inproc" && mode != "wire") {
+          *err = "--mode must be inproc or wire";
+          return false;
+        }
+      } else if (flag == "--host") {
+        if (!need(&v)) return false;
+        host = v;
+      } else if (flag == "--port") {
+        if (!need(&v)) return false;
+        port = static_cast<uint16_t>(u32(v));
+      } else if (flag == "--workers") {
+        if (!need(&v)) return false;
+        server_workers = u32(v);
+      } else if (flag == "--table") {
+        if (!need(&v)) return false;
+        table = v;
+      } else if (flag == "--slo") {
+        if (!need(&v)) return false;
+        if (!slo.Parse(v, err)) return false;
+      } else {
+        *err = flag == "--help" ? "" : "unknown flag: " + flag;
+        return false;
+      }
+    }
+    if (threads.empty()) threads.push_back(EnvMaxThreads());
+    return true;
+  }
+
+  /// Parse-or-exit wrapper with the shared usage text.
+  static BenchArgs ParseOrDie(int argc, char** argv) {
+    BenchArgs args;
+    std::string err;
+    if (!args.Parse(argc, argv, &err)) {
+      if (!err.empty()) std::fprintf(stderr, "%s\n", err.c_str());
+      std::fprintf(
+          stderr,
+          "flags: --rows N --threads A,B,C --duration-ms N --warmup-ms N\n"
+          "       --mix read=..,insert=..,update=..,delete=..,scan=..,"
+          "multiread=..\n"
+          "       --theta F (0=uniform) --dist zipfian|uniform --seed N\n"
+          "       --columns N --scan-rows N --batch N --pipeline N --pin 0|1\n"
+          "       --memory --sync 0|1 --mode inproc|wire --host H --port P\n"
+          "       --workers N --table T --slo p99_read_us=..,min_total_ops_s=..\n");
+      std::exit(2);
+    }
+    return args;
+  }
+};
 
 }  // namespace bench
 }  // namespace lstore

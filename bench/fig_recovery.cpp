@@ -31,11 +31,7 @@ constexpr uint32_t kColumns = 5;  // key + 4 data columns
 
 std::unique_ptr<Database> OpenDb(const std::string& dir) {
   std::unique_ptr<Database> db;
-  Status s = Database::Open(dir, &db);
-  if (!s.ok()) {
-    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
-    std::exit(1);
-  }
+  Must(Database::Open(dir, &db), "open database");
   return db;
 }
 
@@ -50,8 +46,9 @@ void Load(Database* db, Table* t, uint64_t rows) {
   }
 }
 
-void Update(Database* db, Table* t, uint64_t count, uint64_t rows) {
-  Random rng(42);
+void Update(Database* db, Table* t, uint64_t count, uint64_t rows,
+            uint64_t seed) {
+  Random rng(seed);
   for (uint64_t done = 0; done < count;) {
     Txn txn = db->Begin();
     for (uint64_t i = 0; i < 100 && done < count; ++i, ++done) {
@@ -63,13 +60,13 @@ void Update(Database* db, Table* t, uint64_t count, uint64_t rows) {
   }
 }
 
-void Run() {
+void Run(const BenchArgs& args) {
   PrintHeader(
       "fig_recovery: checkpoint throughput + restart time vs log length",
       "restart cost grows with the redo-log tail; checkpoint + "
       "truncation bounds it at a sequential write");
 
-  const uint64_t rows = std::min<uint64_t>(EnvScale(), 200000);
+  const uint64_t rows = std::min<uint64_t>(args.rows, 200000);
   const std::string dir = ScratchDir("fig_recovery");
 
   // --- (a) checkpoint write throughput --------------------------------
@@ -103,7 +100,7 @@ void Run() {
       // Reset the log to (near) empty, then grow exactly the tail we
       // want to measure.
       (void)db->Checkpoint();
-      Update(db.get(), t, updates, rows);
+      Update(db.get(), t, updates, rows, args.seed);
       // Crash: drop all in-memory state with the log un-truncated.
     }
     uint64_t log_bytes = DirBytes(dir, ".log");
@@ -130,8 +127,7 @@ void Run() {
     opts.sync_commit = true;
     opts.group_commit_window_us = 200;
     std::unique_ptr<Database> db;
-    Status s = Database::Open(dir, opts, &db);
-    if (!s.ok()) std::exit(1);
+    Must(Database::Open(dir, opts, &db), "open database (group commit)");
     (void)db->CreateTable("x", Schema(kColumns), TableConfig{});
     (void)db->CreateTable("y", Schema(kColumns), TableConfig{});
     const uint64_t per_thread =
@@ -196,8 +192,7 @@ void Run() {
       opts.buffer_pool_bytes =
           phase == 0 ? (1ull << 40) : (phase == 1 ? footprint / 4 : 0);
       std::unique_ptr<Database> db;
-      Status s = Database::Open(dir, opts, &db);
-      if (!s.ok()) std::exit(1);
+      Must(Database::Open(dir, opts, &db), "open database (buffer pool)");
       (void)db->CreateTable("t", Schema(kColumns), TableConfig{});
       Table* t = db->GetTable("t");
       Load(db.get(), t, rows);
@@ -263,8 +258,7 @@ void Run() {
     DurabilityOptions opts;
     opts.archive_enabled = true;
     std::unique_ptr<Database> db;
-    Status s = Database::Open(dir, opts, &db);
-    if (!s.ok()) std::exit(1);
+    Must(Database::Open(dir, opts, &db), "open database (archive)");
     (void)db->CreateTable("t", Schema(kColumns), TableConfig{});
     Table* t = db->GetTable("t");
     const uint64_t arc_rows = std::min<uint64_t>(rows, 50000);
@@ -274,7 +268,7 @@ void Run() {
     constexpr int kCycles = 4;
     std::vector<Timestamp> points;
     for (int c = 0; c < kCycles; ++c) {
-      Update(db.get(), t, arc_rows / 4, arc_rows);
+      Update(db.get(), t, arc_rows / 4, arc_rows, args.seed + c);
       points.push_back(db->Now() - 1);
       (void)db->Checkpoint();
     }
@@ -311,7 +305,9 @@ void Run() {
 }  // namespace bench
 }  // namespace lstore
 
-int main() {
-  lstore::bench::Run();
+int main(int argc, char** argv) {
+  // Shared flag vocabulary (--rows/--seed); defaults preserve the
+  // historical env-knob sizing for flag-less runs.
+  lstore::bench::Run(lstore::bench::BenchArgs::ParseOrDie(argc, argv));
   return 0;
 }

@@ -24,12 +24,9 @@ using namespace lstore::bench;
 
 namespace {
 
-using Clk = std::chrono::steady_clock;
-
-double Secs(Clk::time_point a, Clk::time_point b) {
-  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
-      .count();
-}
+// Phase timing comes from the shared bench-driver API (bench::Secs on
+// the shared BenchClock) rather than a private clock alias.
+using Clk = BenchClock;
 
 TableConfig BatchConfig(bool logging, const std::string& log_path) {
   TableConfig cfg;
@@ -63,20 +60,23 @@ std::unique_ptr<Table> LoadedTable(uint64_t rows, bool logging,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Shared flag vocabulary (--rows/--seed/--batch); defaults keep the
+  // historical LSTORE_BENCH_SCALE-driven sizing for flag-less runs.
+  BenchArgs args = BenchArgs::ParseOrDie(argc, argv);
   PrintHeader("Batched point ops vs looped singles + parallel scan scaling",
               "batching amortizes index probes, epoch pins, and log frames; "
               "partitioned snapshot scans speed up with workers");
 
-  const uint64_t kRows = std::max<uint64_t>(EnvScale(), 10000);
+  const uint64_t kRows = std::max<uint64_t>(args.rows, 10000);
   const uint64_t kOps = std::min<uint64_t>(kRows, 50000);
-  const uint32_t kBatch = 256;
+  const uint32_t kBatch = std::max<uint32_t>(args.batch, 16u) * 16;
   std::string dir = ScratchDir("micro_batch");
 
   // --- MultiRead vs looped Read (no logging) -----------------------------
   {
     auto table = LoadedTable(kRows, false, "");
-    Random rng(1);
+    Random rng(args.seed);
     std::vector<Value> keys(kOps);
     for (auto& k : keys) k = rng.Uniform(kRows);
 
@@ -102,7 +102,8 @@ int main() {
     auto t2 = Clk::now();
     double looped = Secs(t0, t1), batched = Secs(t1, t2);
     std::printf("%-34s %10.0f ops/s\n", "Read (looped)", kOps / looped);
-    std::printf("%-34s %10.0f ops/s   (%.2fx)\n", "MultiRead (batch=256)",
+    std::string label = "MultiRead (batch=" + std::to_string(kBatch) + ")";
+    std::printf("%-34s %10.0f ops/s   (%.2fx)\n", label.c_str(),
                 kOps / batched, looped / batched);
     EmitMetric("micro_batch", "read_looped", kOps / looped, "ops/s");
     EmitMetric("micro_batch", "multiread_batched", kOps / batched, "ops/s");

@@ -1,0 +1,19 @@
+// The production workload harness binary (bench/workload_driver.h
+// has the driver itself). Examples:
+//
+//   workload --mode inproc --rows 100000 --threads 1,4,8
+//            --mix read=80,update=15,insert=5 --theta 0.99
+//            --slo p99_read_us=500,min_total_ops_s=10000
+//
+//   workload --mode wire --pipeline 8            # self-hosted server
+//   workload --mode wire --host 10.0.0.5 --port 7411   # remote server
+//
+// Exits 1 when any --slo bound is violated, 0 otherwise.
+
+#include "workload_driver.h"
+
+int main(int argc, char** argv) {
+  using namespace lstore::bench;
+  BenchArgs args = BenchArgs::ParseOrDie(argc, argv);
+  return RunWorkload(args);
+}

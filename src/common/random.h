@@ -71,6 +71,57 @@ class ZipfianGenerator {
   Random rng_;
 };
 
+/// FNV-1a over the 8 bytes of `v` (the YCSB key-scrambling hash).
+inline uint64_t FnvHash64(uint64_t v) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Zipfian-distributed *popularity ranks* hashed across the key space
+/// (YCSB's ScrambledZipfian): item popularity follows a Zipfian law,
+/// but the hot items are scattered uniformly over [0, n) instead of
+/// clustering at the low keys — so skewed workloads still spread
+/// across index shards and update ranges the way production hotspots
+/// do. Deterministic per (n, theta, seed).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : n_(n), zipf_(n, theta, seed) {}
+
+  uint64_t Next() { return FnvHash64(zipf_.Next()) % n_; }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+/// Workload key source: uniform or scrambled-zipfian over [0, n).
+class KeyGenerator {
+ public:
+  /// theta <= 0 selects uniform; otherwise scrambled-zipfian(theta).
+  KeyGenerator(uint64_t n, double theta, uint64_t seed)
+      : uniform_(theta <= 0.0),
+        n_(n),
+        rng_(seed),
+        zipf_(n, theta > 0.0 ? theta : 0.5, seed) {}
+
+  uint64_t Next() { return uniform_ ? rng_.Uniform(n_) : zipf_.Next(); }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  bool uniform_;
+  uint64_t n_;
+  Random rng_;
+  ScrambledZipfianGenerator zipf_;
+};
+
 }  // namespace lstore
 
 #endif  // LSTORE_COMMON_RANDOM_H_

@@ -1,107 +1,101 @@
 #include "server/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <utility>
 
 namespace lstore {
 
 namespace {
 
-/// Rebuild a Status from its wire code + message.
-Status MakeStatus(uint8_t code, const std::string& msg) {
-  switch (static_cast<Status::Code>(code)) {
-    case Status::Code::kOk: return Status::OK();
-    case Status::Code::kNotFound: return Status::NotFound(msg);
-    case Status::Code::kAlreadyExists: return Status::AlreadyExists(msg);
-    case Status::Code::kAborted: return Status::Aborted(msg);
-    case Status::Code::kInvalidArgument: return Status::InvalidArgument(msg);
-    case Status::Code::kIOError: return Status::IOError(msg);
-    case Status::Code::kCorruption: return Status::Corruption(msg);
-    case Status::Code::kNotSupported: return Status::NotSupported(msg);
-    case Status::Code::kBusy: return Status::Busy(msg);
+// --- request-body encoders (shared by blocking and pipelined paths) --------
+
+std::string EncodeRead(const std::string& table, Value key, ColumnMask mask) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, key);
+  wire::PutU64(&body, mask);
+  return body;
+}
+
+std::string EncodeInsert(const std::string& table,
+                         const std::vector<Value>& row) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutValues(&body, row);
+  return body;
+}
+
+std::string EncodeUpdate(const std::string& table, Value key, ColumnMask mask,
+                         const std::vector<Value>& row) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, key);
+  wire::PutU64(&body, mask);
+  wire::PutValues(&body, row);
+  return body;
+}
+
+std::string EncodeDelete(const std::string& table, Value key) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, key);
+  return body;
+}
+
+std::string EncodeMultiRead(const std::string& table,
+                            const std::vector<Value>& keys, ColumnMask mask) {
+  std::string body;
+  wire::PutString(&body, table);
+  wire::PutU64(&body, mask);
+  wire::PutValues(&body, keys);
+  return body;
+}
+
+// --- response-body decoders ------------------------------------------------
+
+Status DecodeRead(const std::string& resp, std::vector<Value>* row) {
+  wire::Reader in(resp);
+  if (!in.Values(row)) return Status::Corruption("malformed Read response");
+  return Status::OK();
+}
+
+Status DecodeMultiRead(const std::string& resp, size_t num_keys,
+                       std::vector<std::vector<Value>>* rows,
+                       std::vector<Status>* statuses) {
+  wire::Reader in(resp);
+  uint32_t ncodes = 0;
+  if (!in.Rows(rows) || !in.U32(&ncodes) || ncodes != num_keys) {
+    return Status::Corruption("malformed MultiRead response");
   }
-  return Status::Corruption("unknown status code");
+  if (statuses != nullptr) statuses->clear();
+  for (uint32_t i = 0; i < ncodes; ++i) {
+    uint8_t code = 0;
+    if (!in.U8(&code)) {
+      return Status::Corruption("malformed MultiRead response");
+    }
+    if (statuses != nullptr) statuses->push_back(StatusFromWire(code, ""));
+  }
+  return Status::OK();
+}
+
+Status DecodeAggregate(const std::string& resp, uint64_t* value,
+                       uint64_t* visible_rows) {
+  wire::Reader in(resp);
+  uint64_t v = 0, rows = 0;
+  if (!in.U64(&v) || !in.U64(&rows)) {
+    return Status::Corruption("malformed Query response");
+  }
+  if (value != nullptr) *value = v;
+  if (visible_rows != nullptr) *visible_rows = rows;
+  return Status::OK();
 }
 
 }  // namespace
 
-Status Client::Connect(const std::string& host, uint16_t port) {
-  if (fd_ >= 0) return Status::InvalidArgument("already connected");
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status s = Status::IOError(std::string("connect: ") + std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  fd_ = fd;
-  return Status::OK();
-}
-
-void Client::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
-
 Status Client::Call(wire::Op op, const std::string& body,
                     std::string* resp_body) {
-  if (fd_ < 0) return Status::IOError("not connected");
-  uint32_t id = next_request_id_++;
-  std::string payload;
-  payload.reserve(body.size() + 5);
-  wire::PutU32(&payload, id);
-  wire::PutU8(&payload, static_cast<uint8_t>(op));
-  payload.append(body);
-  Status s = wire::WriteFrame(fd_, payload);
-  if (!s.ok()) {
-    Close();
-    return s;
-  }
-
-  std::string resp;
-  s = wire::ReadFrame(fd_, max_frame_bytes_, &resp);
-  if (!s.ok()) {
-    Close();
-    return s.IsNotFound() ? Status::IOError("server closed the connection")
-                          : s;
-  }
-  wire::Reader in(resp);
-  uint32_t resp_id = 0;
-  uint8_t code = 0;
-  std::string message;
-  if (!in.U32(&resp_id) || !in.U8(&code) || !in.String(&message) ||
-      code > static_cast<uint8_t>(Status::Code::kBusy)) {
-    Close();
-    return Status::Corruption("malformed response");
-  }
-  if (resp_id != id) {
-    // This client never pipelines, so any id mismatch means the
-    // stream is out of step — unrecoverable for a blocking caller.
-    Close();
-    return Status::Corruption("response id mismatch");
-  }
-  if (code != 0) return MakeStatus(code, message);
-  if (resp_body != nullptr) *resp_body = std::string(in.rest());
-  return Status::OK();
+  RequestId id = 0;
+  LSTORE_RETURN_IF_ERROR(channel_.Submit(op, body, &id));
+  return channel_.Await(id, resp_body);
 }
 
 Status Client::Ping() { return Call(wire::Op::kPing, {}, nullptr); }
@@ -159,66 +153,38 @@ Status Client::GetSchema(const std::string& table,
   return Status::OK();
 }
 
+// --- blocking point/batch ops: thin Submit+Await wrappers ------------------
+
 Status Client::Insert(const std::string& table,
                       const std::vector<Value>& row) {
-  std::string body;
-  wire::PutString(&body, table);
-  wire::PutValues(&body, row);
-  return Call(wire::Op::kInsert, body, nullptr);
+  return Call(wire::Op::kInsert, EncodeInsert(table, row), nullptr);
 }
 
 Status Client::Read(const std::string& table, Value key, ColumnMask mask,
                     std::vector<Value>* row) {
-  std::string body, resp;
-  wire::PutString(&body, table);
-  wire::PutU64(&body, key);
-  wire::PutU64(&body, mask);
-  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kRead, body, &resp));
-  wire::Reader in(resp);
-  if (!in.Values(row)) return Status::Corruption("malformed Read response");
-  return Status::OK();
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      Call(wire::Op::kRead, EncodeRead(table, key, mask), &resp));
+  return DecodeRead(resp, row);
 }
 
 Status Client::Update(const std::string& table, Value key, ColumnMask mask,
                       const std::vector<Value>& row) {
-  std::string body;
-  wire::PutString(&body, table);
-  wire::PutU64(&body, key);
-  wire::PutU64(&body, mask);
-  wire::PutValues(&body, row);
-  return Call(wire::Op::kUpdate, body, nullptr);
+  return Call(wire::Op::kUpdate, EncodeUpdate(table, key, mask, row), nullptr);
 }
 
 Status Client::Delete(const std::string& table, Value key) {
-  std::string body;
-  wire::PutString(&body, table);
-  wire::PutU64(&body, key);
-  return Call(wire::Op::kDelete, body, nullptr);
+  return Call(wire::Op::kDelete, EncodeDelete(table, key), nullptr);
 }
 
 Status Client::MultiRead(const std::string& table,
                          const std::vector<Value>& keys, ColumnMask mask,
                          std::vector<std::vector<Value>>* rows,
                          std::vector<Status>* statuses) {
-  std::string body, resp;
-  wire::PutString(&body, table);
-  wire::PutU64(&body, mask);
-  wire::PutValues(&body, keys);
-  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kMultiRead, body, &resp));
-  wire::Reader in(resp);
-  uint32_t ncodes = 0;
-  if (!in.Rows(rows) || !in.U32(&ncodes) || ncodes != keys.size()) {
-    return Status::Corruption("malformed MultiRead response");
-  }
-  if (statuses != nullptr) statuses->clear();
-  for (uint32_t i = 0; i < ncodes; ++i) {
-    uint8_t code = 0;
-    if (!in.U8(&code)) {
-      return Status::Corruption("malformed MultiRead response");
-    }
-    if (statuses != nullptr) statuses->push_back(MakeStatus(code, ""));
-  }
-  return Status::OK();
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(
+      Call(wire::Op::kMultiRead, EncodeMultiRead(table, keys, mask), &resp));
+  return DecodeMultiRead(resp, keys.size(), rows, statuses);
 }
 
 Status Client::InsertBatch(const std::string& table,
@@ -248,9 +214,58 @@ Status Client::DeleteBatch(const std::string& table,
   return Call(wire::Op::kDeleteBatch, body, nullptr);
 }
 
-Status Client::RunQuery(const std::string& table, wire::QueryKind kind,
-                        ColumnId col, const QuerySpec& spec,
-                        std::string* resp) {
+// --- pipelined point ops ---------------------------------------------------
+
+Status Client::SubmitRead(const std::string& table, Value key,
+                          ColumnMask mask, RequestId* id) {
+  return channel_.Submit(wire::Op::kRead, EncodeRead(table, key, mask), id);
+}
+
+Status Client::AwaitRead(RequestId id, std::vector<Value>* row) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(channel_.Await(id, &resp));
+  // nullptr row = await the status, discard the body.
+  std::vector<Value> scratch;
+  return DecodeRead(resp, row != nullptr ? row : &scratch);
+}
+
+Status Client::SubmitInsert(const std::string& table,
+                            const std::vector<Value>& row, RequestId* id) {
+  return channel_.Submit(wire::Op::kInsert, EncodeInsert(table, row), id);
+}
+
+Status Client::SubmitUpdate(const std::string& table, Value key,
+                            ColumnMask mask, const std::vector<Value>& row,
+                            RequestId* id) {
+  return channel_.Submit(wire::Op::kUpdate,
+                         EncodeUpdate(table, key, mask, row), id);
+}
+
+Status Client::SubmitDelete(const std::string& table, Value key,
+                            RequestId* id) {
+  return channel_.Submit(wire::Op::kDelete, EncodeDelete(table, key), id);
+}
+
+Status Client::SubmitMultiRead(const std::string& table,
+                               const std::vector<Value>& keys,
+                               ColumnMask mask, RequestId* id) {
+  return channel_.Submit(wire::Op::kMultiRead,
+                         EncodeMultiRead(table, keys, mask), id);
+}
+
+Status Client::AwaitMultiRead(RequestId id, size_t num_keys,
+                              std::vector<std::vector<Value>>* rows,
+                              std::vector<Status>* statuses) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(channel_.Await(id, &resp));
+  return DecodeMultiRead(resp, num_keys, rows, statuses);
+}
+
+// --- queries ---------------------------------------------------------------
+
+Status Client::SubmitQuery(const std::string& table, wire::QueryKind kind,
+                           ColumnId col, const QuerySpec& spec,
+                           RequestId* id) {
   std::string body;
   wire::PutString(&body, table);
   wire::PutU8(&body, static_cast<uint8_t>(kind));
@@ -263,22 +278,23 @@ Status Client::RunQuery(const std::string& table, wire::QueryKind kind,
     wire::PutU32(&body, fcol);
     wire::PutU64(&body, fval);
   }
-  return Call(wire::Op::kQuery, body, resp);
+  return channel_.Submit(wire::Op::kQuery, body, id);
 }
 
-namespace {
-Status DecodeAggregate(const std::string& resp, uint64_t* value,
-                       uint64_t* visible_rows) {
-  wire::Reader in(resp);
-  uint64_t v = 0, rows = 0;
-  if (!in.U64(&v) || !in.U64(&rows)) {
-    return Status::Corruption("malformed Query response");
-  }
-  if (value != nullptr) *value = v;
-  if (visible_rows != nullptr) *visible_rows = rows;
-  return Status::OK();
+Status Client::AwaitAggregate(RequestId id, uint64_t* value,
+                              uint64_t* visible_rows) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(channel_.Await(id, &resp));
+  return DecodeAggregate(resp, value, visible_rows);
 }
-}  // namespace
+
+Status Client::RunQuery(const std::string& table, wire::QueryKind kind,
+                        ColumnId col, const QuerySpec& spec,
+                        std::string* resp) {
+  RequestId id = 0;
+  LSTORE_RETURN_IF_ERROR(SubmitQuery(table, kind, col, spec, &id));
+  return channel_.Await(id, resp);
+}
 
 Status Client::Sum(const std::string& table, ColumnId col,
                    const QuerySpec& spec, uint64_t* sum,

@@ -1,4 +1,5 @@
-// Blocking client for the L-Store network service (src/server/).
+// Client for the L-Store network service (src/server/): a blocking
+// facade over the pipelined ClientChannel core.
 //
 // One Client = one connection = one server-side session: BEGIN opens
 // the session's transaction, COMMIT/ABORT close it, and closing the
@@ -6,11 +7,23 @@
 // the server. Point/batch/query calls issued outside BEGIN..COMMIT
 // run as server-side auto-committed one-shots.
 //
-// The client is intentionally synchronous — one request in flight at
-// a time — so it is trivially correct to use from tests, benches, and
-// the CLI. It is not thread-safe; use one Client per thread (each
-// gets its own session, which is exactly the isolation the tests
-// want to exercise).
+// Two call styles share the connection:
+//
+//  - Blocking: every named method (Read, Insert, Sum, ...) submits
+//    one request and awaits its response — trivially correct for
+//    tests, the CLI, and simple tools. Each is a thin Submit+Await
+//    wrapper over the channel.
+//  - Pipelined: SubmitX/AwaitX pairs keep up to
+//    channel().max_in_flight() requests in flight on the one
+//    connection, matched by the echoed request id, so a closed-loop
+//    driver is not limited to one round trip per op. Await order is
+//    free — responses for other ids are parked until their Await.
+//
+// The two styles compose: a blocking call issued while pipelined
+// requests are outstanding simply awaits its own id and parks theirs.
+//
+// Not thread-safe; use one Client per thread (each gets its own
+// session, which is exactly the isolation the tests want).
 
 #ifndef LSTORE_SERVER_CLIENT_H_
 #define LSTORE_SERVER_CLIENT_H_
@@ -22,6 +35,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "server/client_channel.h"
 #include "server/wire.h"
 #include "txn/transaction.h"
 
@@ -35,9 +49,15 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  Status Connect(const std::string& host, uint16_t port);
-  void Close();
-  bool connected() const { return fd_ >= 0; }
+  Status Connect(const std::string& host, uint16_t port) {
+    return channel_.Connect(host, port);
+  }
+  void Close() { channel_.Close(); }
+  bool connected() const { return channel_.connected(); }
+
+  /// The pipelined core: submit/await generic ops, tune the in-flight
+  /// cap, inspect the pipeline.
+  ClientChannel& channel() { return channel_; }
 
   // --- session -------------------------------------------------------------
 
@@ -76,6 +96,32 @@ class Client {
   Status DeleteBatch(const std::string& table,
                      const std::vector<Value>& keys);
 
+  // --- pipelined point operations ------------------------------------------
+  // Submit sends without waiting; the matching Await surfaces the
+  // operation's status (and decodes the body where there is one).
+  // Ack-only submissions (insert/update/delete) are awaited with the
+  // generic Await(id).
+
+  Status SubmitRead(const std::string& table, Value key, ColumnMask mask,
+                    RequestId* id);
+  Status AwaitRead(RequestId id, std::vector<Value>* row);
+
+  Status SubmitInsert(const std::string& table, const std::vector<Value>& row,
+                      RequestId* id);
+  Status SubmitUpdate(const std::string& table, Value key, ColumnMask mask,
+                      const std::vector<Value>& row, RequestId* id);
+  Status SubmitDelete(const std::string& table, Value key, RequestId* id);
+
+  Status SubmitMultiRead(const std::string& table,
+                         const std::vector<Value>& keys, ColumnMask mask,
+                         RequestId* id);
+  Status AwaitMultiRead(RequestId id, size_t num_keys,
+                        std::vector<std::vector<Value>>* rows,
+                        std::vector<Status>* statuses = nullptr);
+
+  /// Await an ack-only submission (or discard a body you don't need).
+  Status Await(RequestId id) { return channel_.Await(id, nullptr); }
+
   // --- queries -------------------------------------------------------------
 
   /// Wire form of the Query builder: row range, equality filters,
@@ -98,22 +144,26 @@ class Client {
   Status Keys(const std::string& table, const QuerySpec& spec,
               std::vector<Value>* keys);
 
+  /// Pipelined aggregate (sum/count/min/max share the wire shape).
+  Status SubmitQuery(const std::string& table, wire::QueryKind kind,
+                     ColumnId col, const QuerySpec& spec, RequestId* id);
+  Status AwaitAggregate(RequestId id, uint64_t* value,
+                        uint64_t* visible_rows = nullptr);
+
   // --- observability -------------------------------------------------------
 
   /// The server's Database::Metrics() as Prometheus exposition text.
   Status Metrics(std::string* prometheus_text);
 
  private:
-  /// Send [id][op][body], await the matching response, surface its
-  /// status, and leave the OK body in *resp_body.
+  /// Submit [id][op][body], await the matching response, and leave
+  /// the OK body in *resp_body — the blocking facade's one primitive.
   Status Call(wire::Op op, const std::string& body, std::string* resp_body);
 
   Status RunQuery(const std::string& table, wire::QueryKind kind,
                   ColumnId col, const QuerySpec& spec, std::string* resp);
 
-  int fd_ = -1;
-  uint32_t next_request_id_ = 1;
-  uint32_t max_frame_bytes_ = wire::kDefaultMaxFrameBytes;
+  ClientChannel channel_;
 };
 
 }  // namespace lstore

@@ -18,6 +18,13 @@
 //   sum <table> <col>                 SUM(col) + visible rows
 //   count <table>                     COUNT(*)
 //   metrics                           Prometheus exposition dump
+//   bench [driver flags]              run the wire-mode workload
+//                                     harness against the server,
+//                                     with bench/'s shared flag
+//                                     vocabulary (--rows --threads
+//                                     --mix --theta --seed --pipeline
+//                                     --slo ...); exits 1 on SLO
+//                                     violation
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +40,7 @@
 #include "core/database.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "workload_driver.h"
 
 using namespace lstore;
 
@@ -46,7 +54,8 @@ int Usage() {
                "usage: lstore_cli serve <dir|:memory:> [--port P] "
                "[--workers N] [--queue N] [--inflight N]\n"
                "       lstore_cli [--host H] [--port P] "
-               "ping|tables|create|put|get|del|load|sum|count|metrics ...\n");
+               "ping|tables|create|put|get|del|load|sum|count|metrics|"
+               "bench ...\n");
   return 2;
 }
 
@@ -187,6 +196,29 @@ int main(int argc, char** argv) {
   if (i >= args.size()) return Usage();
   std::string cmd = args[i++];
   std::vector<std::string> rest(args.begin() + i, args.end());
+
+  if (cmd == "bench") {
+    // The workload harness in wire mode, against the addressed
+    // server. The outer --host/--port seed the driver args; the
+    // shared driver vocabulary can override them.
+    bench::BenchArgs bargs;
+    bargs.host = host;
+    bargs.port = port;
+    std::string prog = "lstore_cli-bench";
+    std::vector<char*> bargv{prog.data()};
+    for (auto& a : rest) bargv.push_back(a.data());
+    std::string err;
+    if (!bargs.Parse(static_cast<int>(bargv.size()), bargv.data(), &err)) {
+      if (!err.empty()) std::fprintf(stderr, "%s\n", err.c_str());
+      return Usage();
+    }
+    bargs.mode = "wire";
+    if (bargs.port == 0) {
+      std::fprintf(stderr, "bench drives a live server: give its --port\n");
+      return 2;
+    }
+    return bench::RunWorkload(bargs);
+  }
 
   Client client;
   Status s = client.Connect(host, port);
