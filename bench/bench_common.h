@@ -395,6 +395,9 @@ struct BenchArgs {
   uint32_t server_workers = 0;           ///< --workers (self-hosted server)
   std::string table = "usertable";       ///< --table (wire)
   SloSpec slo;                           ///< --slo
+  bool trace = false;                    ///< --trace: sample traced ops
+  uint32_t trace_sample = 64;            ///< --trace-sample: 1-in-N ops
+  std::string trace_out;                 ///< --trace-out: Chrome JSON file
 
   /// Parse argv; unknown flags (or --help) print usage and fail.
   /// Flags a specific driver ignores are still accepted, so the whole
@@ -496,6 +499,14 @@ struct BenchArgs {
       } else if (flag == "--slo") {
         if (!need(&v)) return false;
         if (!slo.Parse(v, err)) return false;
+      } else if (flag == "--trace") {
+        trace = true;
+      } else if (flag == "--trace-sample") {
+        if (!need(&v)) return false;
+        trace_sample = std::max(1u, u32(v));
+      } else if (flag == "--trace-out") {
+        if (!need(&v)) return false;
+        trace_out = v;
       } else {
         *err = flag == "--help" ? "" : "unknown flag: " + flag;
         return false;
@@ -519,7 +530,8 @@ struct BenchArgs {
           "       --theta F (0=uniform) --dist zipfian|uniform --seed N\n"
           "       --columns N --scan-rows N --batch N --pipeline N --pin 0|1\n"
           "       --memory --sync 0|1 --mode inproc|wire --host H --port P\n"
-          "       --workers N --table T --slo p99_read_us=..,min_total_ops_s=..\n");
+          "       --workers N --table T --slo p99_read_us=..,min_total_ops_s=..\n"
+          "       --trace --trace-sample N --trace-out FILE\n");
       std::exit(2);
     }
     return args;

@@ -30,14 +30,25 @@
 // Database; with an explicit --port it drives a remote server and
 // preloads over the wire (InsertBatch chunks, Busy-retried).
 //
+// With --trace, every --trace-sample-th measured op (default 64)
+// carries a fresh trace id into the flight recorder — stamped on the
+// wire frame in wire modes, set thread-locally in-process — and each
+// sweep point reports a p99_by_stage breakdown: the per-stage self
+// times of the traces nearest the end-to-end p99, which sum to the
+// reported e2e by construction. --trace-out FILE additionally dumps
+// the recorder as Chrome trace-event JSON (fetched over the wire in
+// remote mode, where the per-stage breakdown is skipped).
+//
 // Exit code: 0, or 1 when any --slo bound is violated at any sweep
 // point (the gate CI's perf-smoke job runs).
 
 #ifndef LSTORE_BENCH_WORKLOAD_DRIVER_H_
 #define LSTORE_BENCH_WORKLOAD_DRIVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -50,6 +61,8 @@
 #include "common/status.h"
 #include "core/database.h"
 #include "core/query.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -165,6 +178,11 @@ struct WorkloadResult {
   WorkerStats stats;
   double measure_secs = 0;
   uint32_t threads = 0;
+  /// Trace ids minted for this point fall in [trace_lo, trace_hi)
+  /// (--trace only; both 0 otherwise) — the filter that attributes
+  /// flight-recorder spans to this sweep point.
+  uint64_t trace_lo = 0;
+  uint64_t trace_hi = 0;
 
   /// The flat stat map the SLO bounds are checked against (and the
   /// vocabulary documented in the README): p50/p99/p999_<op>_us and
@@ -203,12 +221,22 @@ inline void InProcWorker(const BenchArgs& args, Database* db, Table* table,
   std::vector<Value> row(cols);
   std::vector<Value> keys;
   std::vector<std::vector<Value>> rows;
+  uint64_t op_seq = 0;
 
   while (true) {
     int ph = phase->load(std::memory_order_acquire);
     if (ph == kStop) break;
     bool measure = ph == kMeasure;
     uint32_t cls = gen.NextClass();
+    // --trace: every trace_sample-th measured op runs under a fresh
+    // trace id, so engine stages (gc_queue_wait, log_flush, log_append,
+    // commit_fsync) record spans against it; the worker itself records
+    // the root "request" span since there is no server to do it.
+    uint64_t trace_id = 0;
+    if (args.trace && measure && (op_seq++ % args.trace_sample) == 0) {
+      trace_id = TraceContext::NewTraceId();
+    }
+    TraceContext::Scope trace_scope(trace_id);
     uint64_t t0 = NowNs();
     Status s;
     switch (cls) {
@@ -264,6 +292,7 @@ inline void InProcWorker(const BenchArgs& args, Database* db, Table* table,
       default:
         break;
     }
+    if (trace_id != 0) RecordSpan(trace_id, "request", t0, NowNs() - t0);
     out->Account(cls, s, t0, measure);
   }
 }
@@ -300,6 +329,7 @@ inline void WireWorker(const BenchArgs& args, const std::string& host,
     bool measure;
   };
   std::map<RequestId, Pending> pending;
+  uint64_t op_seq = 0;
 
   // Await `id`, decode per its op class, and account it.
   auto await_one = [&](RequestId id) {
@@ -351,6 +381,13 @@ inline void WireWorker(const BenchArgs& args, const std::string& host,
     }
     bool measure = ph == kMeasure;
     uint32_t cls = gen.NextClass();
+    // --trace: stamp every trace_sample-th measured op with a fresh
+    // trace id; the server records the stage spans (decode .. reply)
+    // under it. One-shot — only the next Submit carries the id.
+    if (args.trace && measure && (op_seq++ % args.trace_sample) == 0) {
+      uint64_t trace_id = TraceContext::NewTraceId();
+      if (trace_id != 0) client.set_next_trace_id(trace_id);
+    }
     uint64_t t0 = NowNs();
     RequestId id = 0;
     Status s;
@@ -465,10 +502,13 @@ inline void LoadWire(const BenchArgs& args, Client* client) {
 // --- the sweep -------------------------------------------------------------
 
 /// Run one sweep point: spawn `n` workers of `body`, run the
-/// warmup/measure phases, join, and merge.
+/// warmup/measure phases, join, and merge. Under --trace the ids this
+/// point's workers mint are bracketed into [trace_lo, trace_hi) so
+/// the stage breakdown can attribute flight-recorder spans per point.
 template <typename WorkerFn>
 inline WorkloadResult RunPoint(const BenchArgs& args, uint32_t n,
                                WorkerFn&& body) {
+  uint64_t trace_lo = args.trace ? TraceContext::NewTraceId() : 0;
   std::atomic<int> phase{kWarmup};
   std::vector<WorkerStats> stats(n);
   std::vector<std::thread> workers;
@@ -488,6 +528,10 @@ inline WorkloadResult RunPoint(const BenchArgs& args, uint32_t n,
   r.threads = n;
   r.measure_secs = Secs(t0, t1);
   for (const auto& s : stats) r.stats.Merge(s);
+  if (args.trace) {
+    r.trace_lo = trace_lo;
+    r.trace_hi = TraceContext::NewTraceId();
+  }
   return r;
 }
 
@@ -524,6 +568,133 @@ inline void EmitResult(const BenchArgs& args, const WorkloadResult& r) {
   }
 }
 
+// --- p99 stage breakdown (--trace) -----------------------------------------
+
+/// Per-stage self-time decomposition of the traces nearest the e2e
+/// p99: where does a slow request actually spend its time?
+struct StageBreakdown {
+  std::map<std::string, double> stage_us;  ///< mean self time per stage
+  double e2e_us = 0;   ///< mean root duration over the p99 window
+  size_t traces = 0;   ///< complete traces (root span present) seen
+};
+
+/// Decompose the flight-recorder spans minted by one sweep point
+/// ([lo, hi) ids) into a per-stage breakdown around the e2e p99.
+///
+/// Per trace: each span's *self* time is its duration minus its direct
+/// children's (a span's parent is the smallest span containing it);
+/// the root "request" span's own self time is reported as "other"
+/// (network, wakeups — anything no stage instruments). Self times sum
+/// to the root duration by construction, so the emitted stages sum to
+/// the reported e2e. The breakdown averages the traces at ranks
+/// p99±2 (by root duration) rather than one trace, so a single
+/// outlier does not define the profile.
+inline StageBreakdown ComputeStageBreakdown(const std::vector<TraceSpan>& spans,
+                                            uint64_t lo, uint64_t hi) {
+  StageBreakdown b;
+  if (lo >= hi) return b;
+
+  // Group this point's spans by trace id.
+  std::map<uint64_t, std::vector<TraceSpan>> traces;
+  for (const TraceSpan& s : spans) {
+    if (s.trace_id >= lo && s.trace_id < hi) traces[s.trace_id].push_back(s);
+  }
+
+  // Per trace: root duration + per-stage self times.
+  struct TraceProfile {
+    uint64_t root_dur = 0;
+    std::map<std::string, double> self_us;
+  };
+  std::vector<TraceProfile> profiles;
+  for (auto& [id, tspans] : traces) {
+    int root = -1;
+    for (size_t i = 0; i < tspans.size(); ++i) {
+      if (std::strcmp(tspans[i].name, "request") == 0) {
+        root = static_cast<int>(i);
+        break;
+      }
+    }
+    if (root < 0) continue;  // incomplete (ring overwrote the root)
+
+    const size_t n = tspans.size();
+    std::vector<double> self(n);
+    for (size_t i = 0; i < n; ++i) {
+      self[i] = static_cast<double>(tspans[i].dur_ns);
+    }
+    // Charge each non-root span to its nearest enclosing parent
+    // (smallest span containing it); spans outside the root entirely
+    // are clock skew artifacts and are dropped.
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i) == root) continue;
+      int parent = -1;
+      uint64_t parent_dur = ~0ull;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (tspans[j].t0_ns <= tspans[i].t0_ns &&
+            tspans[i].end_ns() <= tspans[j].end_ns() &&
+            tspans[j].dur_ns < parent_dur) {
+          parent = static_cast<int>(j);
+          parent_dur = tspans[j].dur_ns;
+        }
+      }
+      if (parent >= 0) self[parent] -= static_cast<double>(tspans[i].dur_ns);
+    }
+
+    TraceProfile p;
+    p.root_dur = tspans[root].dur_ns;
+    for (size_t i = 0; i < n; ++i) {
+      const char* stage =
+          static_cast<int>(i) == root ? "other" : tspans[i].name;
+      p.self_us[stage] += std::max(0.0, self[i]) / 1000.0;
+    }
+    profiles.push_back(std::move(p));
+  }
+  b.traces = profiles.size();
+  if (profiles.empty()) return b;
+
+  // The p99 window: traces at ranks p99-2 .. p99+2 by root duration.
+  std::sort(profiles.begin(), profiles.end(),
+            [](const TraceProfile& a, const TraceProfile& c) {
+              return a.root_dur < c.root_dur;
+            });
+  size_t rank = static_cast<size_t>(0.99 * (profiles.size() - 1));
+  size_t w0 = rank >= 2 ? rank - 2 : 0;
+  size_t w1 = std::min(profiles.size() - 1, rank + 2);
+  double count = static_cast<double>(w1 - w0 + 1);
+  for (size_t i = w0; i <= w1; ++i) {
+    b.e2e_us += static_cast<double>(profiles[i].root_dur) / 1000.0 / count;
+    for (const auto& [stage, us] : profiles[i].self_us) {
+      b.stage_us[stage] += us / count;
+    }
+  }
+  return b;
+}
+
+/// Print + emit one sweep point's p99 stage breakdown
+/// (<mode>.t<N>.p99_by_stage.<stage> rows next to the driver stats).
+inline void ReportStageBreakdown(const BenchArgs& args,
+                                 const WorkloadResult& r) {
+  StageBreakdown b = ComputeStageBreakdown(FlightRecorder::Instance().Snapshot(),
+                                           r.trace_lo, r.trace_hi);
+  if (b.traces == 0) {
+    std::printf("  p99_by_stage: no complete traces captured%s\n",
+                kTraceEnabled ? "" : " (built with LSTORE_TRACING=OFF)");
+    return;
+  }
+  std::string prefix =
+      args.mode + ".t" + std::to_string(r.threads) + ".p99_by_stage.";
+  double sum = 0;
+  std::printf("  p99_by_stage (%zu traces, e2e=%.1fus):\n", b.traces, b.e2e_us);
+  for (const auto& [stage, us] : b.stage_us) {
+    std::printf("    %-16s %10.1fus  %5.1f%%\n", stage.c_str(), us,
+                b.e2e_us > 0 ? 100.0 * us / b.e2e_us : 0.0);
+    EmitMetric("workload", prefix + stage, us, "us");
+    sum += us;
+  }
+  EmitMetric("workload", prefix + "e2e", b.e2e_us, "us");
+  std::printf("    %-16s %10.1fus  (e2e %.1fus)\n", "sum", sum, b.e2e_us);
+}
+
 /// Check the --slo bounds against one sweep point; prints violations
 /// and returns their count.
 inline uint32_t CheckSlo(const BenchArgs& args, const WorkloadResult& r) {
@@ -534,6 +705,19 @@ inline uint32_t CheckSlo(const BenchArgs& args, const WorkloadResult& r) {
     std::fprintf(stderr, "[threads=%u] %s\n", r.threads, v.c_str());
   }
   return bad;
+}
+
+/// Write the Chrome trace-event JSON for --trace-out (best effort: a
+/// failed write is reported, never fatal to the run).
+inline void WriteTraceOut(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "workload: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("workload: trace written to %s\n", path.c_str());
 }
 
 // --- entry point -----------------------------------------------------------
@@ -575,6 +759,7 @@ inline int RunWorkload(const BenchArgs& args) {
             });
         PrintResult(args, r);
         EmitResult(args, r);
+        if (args.trace) ReportStageBreakdown(args, r);
         violations += CheckSlo(args, r);
       }
     } else {
@@ -594,9 +779,15 @@ inline int RunWorkload(const BenchArgs& args) {
             });
         PrintResult(args, r);
         EmitResult(args, r);
+        // Self-hosted: the server's flight recorder is in this
+        // process, so the breakdown works exactly as in-proc.
+        if (args.trace) ReportStageBreakdown(args, r);
         violations += CheckSlo(args, r);
       }
       server.Stop();
+    }
+    if (args.trace && !args.trace_out.empty()) {
+      WriteTraceOut(args.trace_out, db->DumpTrace());
     }
     EmitSnapshot("workload", args.mode.c_str(), db->Metrics());
     db.reset();
@@ -617,7 +808,23 @@ inline int RunWorkload(const BenchArgs& args) {
           });
       PrintResult(args, r);
       EmitResult(args, r);
+      if (args.trace) {
+        // The spans live in the remote server's flight recorder; no
+        // local breakdown. Use --trace-out to fetch its dump instead.
+        std::printf("  p99_by_stage: skipped (remote server holds the "
+                    "spans; see --trace-out)\n");
+      }
       violations += CheckSlo(args, r);
+    }
+    if (args.trace && !args.trace_out.empty()) {
+      Client tracer;
+      std::string json;
+      if (tracer.Connect(args.host, args.port).ok() &&
+          tracer.Trace(&json).ok()) {
+        WriteTraceOut(args.trace_out, json);
+      } else {
+        std::fprintf(stderr, "workload: could not fetch remote trace\n");
+      }
     }
   }
 

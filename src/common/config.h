@@ -174,6 +174,13 @@ struct DurabilityOptions {
   /// and it only takes effect before the pool's first use.
   uint32_t scan_threads = 0;
 
+  /// Slow-op log (src/obs/slow_op_log.h): a traced request whose total
+  /// latency exceeds this many microseconds dumps its span timeline as
+  /// one JSON line to <dir>/slowops.log. 0 (default) = no slow-op log.
+  /// Requires tracing compiled in (LSTORE_TRACING=ON) and applies to
+  /// traced requests only — untraced requests have no timeline to dump.
+  uint64_t slow_op_threshold_us = 0;
+
   /// Eagerly verify every segment-store byte range the checkpoint
   /// references during Open (reads the ranges back and checks their
   /// checksums; the segments themselves still restore lazily/cold).

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/table.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lstore {
@@ -62,7 +63,13 @@ Status GroupCommitQueue::Commit(Transaction* txn, Timestamp commit_time,
     }
   }
 
-  if (kTraceEnabled && queue_wait_ns_ != nullptr) req.enqueue_ns = NowNanos();
+  if (kTraceEnabled) {
+    // Stamped for every request, not only when the histogram is wired:
+    // the stamp also anchors the gc_queue_wait span of a traced
+    // request, which the leader records on the submitter's behalf.
+    req.enqueue_ns = NowNanos();
+    req.trace_id = TraceContext::Current();
+  }
   std::unique_lock<std::mutex> lk(mu_);
   queue_.push_back(&req);
   cv_.notify_all();
@@ -102,14 +109,15 @@ void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   if (batches_total_ != nullptr) batches_total_->Add(1);
   if (batch_size_ != nullptr) batch_size_->Record(batch.size());
-  if (kTraceEnabled && queue_wait_ns_ != nullptr) {
+  if (kTraceEnabled) {
     uint64_t now = NowNanos();
     for (Request* r : batch) {
-      if (r->enqueue_ns != 0) queue_wait_ns_->Record(now - r->enqueue_ns);
+      uint64_t wait_ns = now - r->enqueue_ns;
+      if (queue_wait_ns_ != nullptr) queue_wait_ns_->Record(wait_ns);
+      RecordSpan(r->trace_id, "gc_queue_wait", r->enqueue_ns, wait_ns);
     }
   }
-  uint64_t fanout_t0 =
-      (kTraceEnabled && fanout_flush_ns_ != nullptr) ? NowNanos() : 0;
+  uint64_t fanout_t0 = kTraceEnabled ? NowNanos() : 0;
 
   // 1. Flush every distinct table log touched by the batch exactly
   // once: the payloads (and single-table commit records) of every
@@ -136,7 +144,15 @@ void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
       }
     }
   }
-  if (fanout_t0 != 0) fanout_flush_ns_->Record(NowNanos() - fanout_t0);
+  if (kTraceEnabled) {
+    uint64_t fanout_dur = NowNanos() - fanout_t0;
+    if (fanout_flush_ns_ != nullptr) fanout_flush_ns_->Record(fanout_dur);
+    // The fan-out is shared work: every traced request in the batch
+    // gets the whole window on its timeline (that IS its wait).
+    for (Request* r : batch) {
+      RecordSpan(r->trace_id, "log_flush", fanout_t0, fanout_dur);
+    }
+  }
 
   // 2. One commit-log record per surviving cross-table request; the
   // single flush below is their shared durability point.
@@ -148,10 +164,19 @@ void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
     }
   }
   if (any_cross) {
-    uint64_t flush_t0 =
-        (kTraceEnabled && commit_log_flush_ns_ != nullptr) ? NowNanos() : 0;
+    uint64_t flush_t0 = kTraceEnabled ? NowNanos() : 0;
     Status cs = commit_log_->Flush(sync_);
-    if (flush_t0 != 0) commit_log_flush_ns_->Record(NowNanos() - flush_t0);
+    if (kTraceEnabled) {
+      uint64_t flush_dur = NowNanos() - flush_t0;
+      if (commit_log_flush_ns_ != nullptr) {
+        commit_log_flush_ns_->Record(flush_dur);
+      }
+      for (Request* r : batch) {
+        if (r->cross && r->result.ok()) {
+          RecordSpan(r->trace_id, "commit_fsync", flush_t0, flush_dur);
+        }
+      }
+    }
     if (!cs.ok()) {
       for (Request* r : batch) {
         if (r->cross && r->result.ok()) r->result = cs;

@@ -112,7 +112,13 @@ class GroupCommitQueue {
     bool cross = false;
     bool done = false;
     Status result;
-    uint64_t enqueue_ns = 0;  ///< queue-wait metric (0 = not traced)
+    uint64_t enqueue_ns = 0;  ///< queue-wait stamp (0 = untraced build)
+    /// Submitter's request trace id (obs/span.h), captured at Commit()
+    /// entry: the batch leader records this request's gc_queue_wait /
+    /// log_flush / commit_fsync spans on the submitter's behalf —
+    /// durability work happens on the leader's thread, but latency
+    /// belongs to the request's timeline. 0 = untraced.
+    uint64_t trace_id = 0;
   };
 
   /// Leader body: runs the shared durability sequence for `batch`

@@ -15,7 +15,10 @@
 #include "common/thread_pool.h"
 #include "core/commit_pipeline.h"
 #include "log/commit_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/reporter.h"
+#include "obs/slow_op_log.h"
+#include "obs/trace.h"
 
 namespace lstore {
 
@@ -54,6 +57,18 @@ Database::Database() {
     r.GetGauge("lstore_epoch_pending",
                "Retired-but-unreclaimed epoch entries across tables")
         ->Set(static_cast<int64_t>(epoch_pending));
+    if (kTraceEnabled) {
+      // Mirror the flight recorder's monotonic overwrite count into a
+      // counter: exchange keeps the delta exact even when several
+      // databases in one process all run this collector.
+      uint64_t dropped = FlightRecorder::Instance().dropped();
+      uint64_t seen = trace_dropped_seen_.exchange(dropped);
+      if (dropped > seen) {
+        r.GetCounter("lstore_trace_ring_dropped_total",
+                     "Flight-recorder spans overwritten before snapshot")
+            ->Add(dropped - seen);
+      }
+    }
   });
 }
 
@@ -387,8 +402,21 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
         dir + "/metrics.log", opts.metrics_report_interval_ms,
         [raw] { return raw->Metrics(); });
   }
+  if (kTraceEnabled && opts.slow_op_threshold_us > 0) {
+    // Same directory (and rotation idiom) as metrics.log; the counter
+    // makes the dumps themselves observable.
+    db->slow_op_log_ = std::make_unique<SlowOpLog>(
+        dir + "/slowops.log", opts.slow_op_threshold_us,
+        db->metrics_.GetCounter(
+            "lstore_server_slow_ops_total",
+            "Traced requests that exceeded slow_op_threshold_us"));
+  }
   *out = std::move(db);
   return Status::OK();
+}
+
+std::string Database::DumpTrace() const {
+  return FlightRecorder::Instance().RenderChromeTrace();
 }
 
 Status Database::Checkpoint() {

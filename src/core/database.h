@@ -17,6 +17,7 @@
 #ifndef LSTORE_CORE_DATABASE_H_
 #define LSTORE_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,7 @@ class ArchiveManager;
 class CheckpointManager;
 class CommitLog;
 class GroupCommitQueue;
+class SlowOpLog;
 class StatsReporter;
 
 /// A point to restore to (Database::RestoreToPoint): either an
@@ -188,6 +190,18 @@ class Database : public TxnContext {
   /// with MetricsSnapshot::RenderPrometheus() / RenderJson().
   MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
 
+  /// The flight recorder's current contents as Chrome trace-event JSON
+  /// (chrome://tracing / Perfetto loadable): every span of every traced
+  /// request still retained in the per-thread rings. Served over the
+  /// wire as the TRACE op (`lstore_cli trace`). Under LSTORE_TRACING=
+  /// OFF: a valid document with zero events.
+  std::string DumpTrace() const;
+
+  /// The slow-op log (src/obs/slow_op_log.h), or nullptr unless the
+  /// database is durable, tracing is compiled in, and
+  /// DurabilityOptions::slow_op_threshold_us > 0.
+  SlowOpLog* slow_op_log() { return slow_op_log_.get(); }
+
  private:
   friend class CheckpointManager;
 
@@ -241,6 +255,14 @@ class Database : public TxnContext {
   std::unique_ptr<GroupCommitQueue> group_commit_;
   // Declared last: destroyed (and therefore stopped) before tables_.
   std::unique_ptr<CheckpointManager> checkpoint_manager_;
+  /// Slow-op dump sink (<dir>/slowops.log); created by Open when
+  /// DurabilityOptions::slow_op_threshold_us > 0 and tracing is
+  /// compiled in. Consumers (Server workers) hold the raw pointer only
+  /// while the Database lives — same contract as the registry handles.
+  std::unique_ptr<SlowOpLog> slow_op_log_;
+  /// Last-seen FlightRecorder::dropped() value, so the registry
+  /// collector can mirror the delta into the monotonic counter.
+  std::atomic<uint64_t> trace_dropped_seen_{0};
   /// Background JSON-lines reporter (DurabilityOptions::
   /// metrics_report_interval_ms). Last: stopped before anything it
   /// samples is torn down (~Database also stops it explicitly).

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "storage/compression/varint.h"
 
@@ -208,6 +209,10 @@ uint64_t FramedLog::Append(std::string_view payload, uint64_t lsn_count) {
     thread_local uint64_t sample_tick = 0;
     if ((sample_tick++ & 63) == 0) t0 = NowNanos();
   }
+  // A traced request times every one of its appends (its timeline has
+  // to be complete), independent of the 1-in-64 histogram sampling.
+  uint64_t span_trace = kTraceEnabled ? TraceContext::Current() : 0;
+  uint64_t span_t0 = span_trace != 0 ? NowNanos() : 0;
   uint64_t last;
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -224,6 +229,9 @@ uint64_t FramedLog::Append(std::string_view payload, uint64_t lsn_count) {
     if (pending_appends_ >= 64) PublishPendingLocked();
   }
   if (t0 != 0) metrics_.append_ns->Record(NowNanos() - t0);
+  if (span_trace != 0) {
+    RecordSpan(span_trace, "log_append", span_t0, NowNanos() - span_t0);
+  }
   return last;
 }
 

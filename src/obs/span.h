@@ -1,0 +1,131 @@
+// Request-scoped tracing: trace ids, thread-local propagation, and
+// span recording into the flight recorder (src/obs/flight_recorder.h).
+//
+// A trace id is minted once at the request's origin (client stamping a
+// wire frame, or the harness wrapping an in-process op), travels with
+// the request across threads (wire header field → server Request →
+// worker thread-local → group-commit Request), and tags every span the
+// request touches. Propagation inside a thread is a thread-local:
+//
+//   TraceContext::Scope scope(trace_id);   // set for this stage
+//   ...                                     // anything called here
+//   uint64_t id = TraceContext::Current();  // sees the id (0 = none)
+//
+// Spans are recorded closed (after the fact) so the hot path pays two
+// clock reads and one ring write, nothing else:
+//
+//   { SpanScope span("execute");  DoWork(); }          // traced scope
+//   RecordSpan(id, "decode", t0_ns, dur_ns);           // manual window
+//
+// All of it compiles out under LSTORE_TRACING=OFF (same
+// LSTORE_TRACE_ENABLED gate as src/obs/trace.h): Current() returns 0,
+// Scope/SpanScope are empty, RecordSpan is a no-op — call sites need
+// no #if. Span names must be static string literals (the recorder
+// stores the pointer).
+
+#ifndef LSTORE_OBS_SPAN_H_
+#define LSTORE_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+
+namespace lstore {
+
+#if LSTORE_TRACE_ENABLED
+
+namespace internal {
+inline thread_local uint64_t g_current_trace_id = 0;
+}  // namespace internal
+
+class TraceContext {
+ public:
+  /// The trace id active on this thread; 0 = untraced.
+  static uint64_t Current() { return internal::g_current_trace_id; }
+
+  /// Mint a fresh process-unique nonzero trace id.
+  static uint64_t NewTraceId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// RAII: set the thread's trace id for a stage, restore on exit
+  /// (nesting-safe; Scope(0) deliberately clears — e.g. a worker
+  /// picking up an untraced request after a traced one).
+  class Scope {
+   public:
+    explicit Scope(uint64_t trace_id)
+        : saved_(internal::g_current_trace_id) {
+      internal::g_current_trace_id = trace_id;
+    }
+    ~Scope() { internal::g_current_trace_id = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    uint64_t saved_;
+  };
+};
+
+/// Record one closed span for `trace_id` into the flight recorder.
+/// No-op when trace_id == 0, so call sites can record unconditionally
+/// on paths that serve both traced and untraced requests.
+inline void RecordSpan(uint64_t trace_id, const char* name, uint64_t t0_ns,
+                       uint64_t dur_ns) {
+  if (trace_id == 0) return;
+  FlightRecorder::Instance().Record(trace_id, name, t0_ns, dur_ns);
+}
+
+/// RAII span covering a scope, attributed to the thread's current
+/// trace id (captured at construction). Free when untraced: 0 id
+/// skips even the clock read.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name)
+      : trace_id_(TraceContext::Current()),
+        name_(name),
+        t0_ns_(trace_id_ != 0 ? NowNanos() : 0) {}
+  ~SpanScope() {
+    if (trace_id_ != 0) {
+      RecordSpan(trace_id_, name_, t0_ns_, NowNanos() - t0_ns_);
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  uint64_t trace_id_;
+  const char* name_;
+  uint64_t t0_ns_;
+};
+
+#else  // !LSTORE_TRACE_ENABLED
+
+class TraceContext {
+ public:
+  static uint64_t Current() { return 0; }
+  static uint64_t NewTraceId() { return 0; }
+  class Scope {
+   public:
+    explicit Scope(uint64_t) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+};
+
+inline void RecordSpan(uint64_t, const char*, uint64_t, uint64_t) {}
+
+class SpanScope {
+ public:
+  explicit SpanScope(const char*) {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+};
+
+#endif  // LSTORE_TRACE_ENABLED
+
+}  // namespace lstore
+
+#endif  // LSTORE_OBS_SPAN_H_

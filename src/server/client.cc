@@ -351,4 +351,18 @@ Status Client::Metrics(std::string* prometheus_text) {
   return Status::OK();
 }
 
+Status Client::Trace(std::string* trace_json) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kTrace, {}, &resp));
+  wire::Reader in(resp);
+  if (!in.String(trace_json)) {
+    return Status::Corruption("malformed Trace response");
+  }
+  return Status::OK();
+}
+
+void Client::set_next_trace_id(uint64_t trace_id) {
+  channel_.set_next_trace_id(trace_id);
+}
+
 }  // namespace lstore

@@ -155,6 +155,16 @@ class Client {
   /// The server's Database::Metrics() as Prometheus exposition text.
   Status Metrics(std::string* prometheus_text);
 
+  /// The server's flight recorder as Chrome trace-event JSON
+  /// (Database::DumpTrace); empty event list when the server was
+  /// built with LSTORE_TRACING=OFF.
+  Status Trace(std::string* trace_json);
+
+  /// Expose the pipelined core's one-shot trace stamp (see
+  /// ClientChannel::set_next_trace_id): the next request this client
+  /// sends carries the id.
+  void set_next_trace_id(uint64_t trace_id);
+
  private:
   /// Submit [id][op][body], await the matching response, and leave
   /// the OK body in *resp_body — the blocking facade's one primitive.

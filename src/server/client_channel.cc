@@ -83,9 +83,18 @@ Status ClientChannel::Submit(wire::Op op, std::string_view body,
   }
   RequestId rid = next_request_id_++;
   std::string payload;
-  payload.reserve(body.size() + 5);
+  payload.reserve(body.size() + 13);
   wire::PutU32(&payload, rid);
-  wire::PutU8(&payload, static_cast<uint8_t>(op));
+  // One-shot trace stamping: flag the op byte and append the id. Sent
+  // regardless of this binary's tracing build — stamping expresses the
+  // CLIENT's intent; whether spans get recorded is the server's build.
+  if (next_trace_id_ != 0) {
+    wire::PutU8(&payload, static_cast<uint8_t>(op) | wire::kTracedOpFlag);
+    wire::PutU64(&payload, next_trace_id_);
+    next_trace_id_ = 0;
+  } else {
+    wire::PutU8(&payload, static_cast<uint8_t>(op));
+  }
   payload.append(body);
   Status s = wire::WriteFrame(fd_, payload);
   if (!s.ok()) return Break(s);

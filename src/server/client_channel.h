@@ -105,6 +105,12 @@ class ClientChannel {
 
   void set_max_frame_bytes(uint32_t n) { max_frame_bytes_ = n; }
 
+  /// Stamp the NEXT Submit with this trace id (one-shot; cleared by
+  /// that Submit): the request travels with `op | kTracedOpFlag` plus
+  /// the 64-bit id, and a tracing server records its span timeline
+  /// under the id. 0 clears a pending stamp.
+  void set_next_trace_id(uint64_t trace_id) { next_trace_id_ = trace_id; }
+
  private:
   struct Ready {
     uint8_t code = 0;
@@ -122,6 +128,7 @@ class ClientChannel {
 
   int fd_ = -1;
   uint32_t next_request_id_ = 1;
+  uint64_t next_trace_id_ = 0;  ///< one-shot stamp for the next Submit
   uint32_t max_frame_bytes_ = wire::kDefaultMaxFrameBytes;
   uint32_t max_in_flight_ = kDefaultMaxInFlight;
 

@@ -14,6 +14,8 @@
 
 #include "common/thread_pool.h"
 #include "core/query.h"
+#include "obs/slow_op_log.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lstore {
@@ -206,11 +208,17 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       break;
     }
     m_bytes_in_->Add(payload.size() + wire::kFrameOverhead);
+    uint64_t t0 = kTraceEnabled ? NowNanos() : 0;
 
     wire::Reader hdr(payload);
     uint32_t request_id = 0;
     uint8_t op = 0;
-    if (!hdr.U32(&request_id) || !hdr.U8(&op)) {
+    uint64_t trace_id = 0;
+    // The trace-id header field is parsed UNCONDITIONALLY — wire
+    // compatibility cannot depend on the tracing build; an untraced
+    // build still has to skip the 8 bytes a stamping client sent.
+    if (!hdr.U32(&request_id) || !hdr.U8(&op) ||
+        ((op & wire::kTracedOpFlag) != 0 && !hdr.U64(&trace_id))) {
       // The *frame* was well-formed, so the stream stays in sync: a
       // clean error response, not a hangup.
       m_errors_->Increment();
@@ -224,6 +232,7 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
     // (and therefore accepted-request latency) stays bounded.
     const char* busy_reason = nullptr;
     bool enqueued = false;
+    uint64_t enqueue_ns = 0;
     {
       std::lock_guard<std::mutex> g(mu_);
       if (stopping_.load(std::memory_order_relaxed) || session->closing) {
@@ -236,7 +245,15 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       } else {
         Request req;
         req.payload = std::move(payload);
-        req.enqueue_ns = kTraceEnabled ? NowNanos() : 0;
+        // Every ADMITTED request is stamped here; Busy rejections never
+        // construct a Request at all — so the worker's queue-wait
+        // sample needs only the compile-time kTraceEnabled guard, not a
+        // runtime zero-check (which used to conflate "untraced build"
+        // with "rejected request" and could skip real samples).
+        enqueue_ns = kTraceEnabled ? NowNanos() : 0;
+        req.enqueue_ns = enqueue_ns;
+        req.trace_id = trace_id;
+        req.t0_ns = t0;
         session->pending.push_back(std::move(req));
         ++queued_;
         g_queue_depth_->Set(queued_);
@@ -248,6 +265,9 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       }
     }
     if (enqueued) {
+      // Frame arrival -> admitted to the queue (header parse + the
+      // admission critical section). RecordSpan no-ops when untraced.
+      RecordSpan(trace_id, "decode", t0, enqueue_ns - t0);
       m_accepted_->Increment();
       work_cv_.notify_one();
     } else {
@@ -298,13 +318,21 @@ void Server::WorkerLoop() {
       g_queue_depth_->Set(queued_);
     }
 
-    if (kTraceEnabled && req.enqueue_ns != 0) {
-      h_queue_wait_ns_->Record(NowNanos() - req.enqueue_ns);
+    if (kTraceEnabled) {
+      // The stamp is trusted: every Request that reaches a worker was
+      // stamped at admission (see ReaderLoop) — a zero check here
+      // would only hide missing samples.
+      uint64_t wait_ns = NowNanos() - req.enqueue_ns;
+      h_queue_wait_ns_->Record(wait_ns);
+      RecordSpan(req.trace_id, "queue_wait", req.enqueue_ns, wait_ns);
     }
     if (cfg_.test_delay_us != 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(cfg_.test_delay_us));
     }
     {
+      // Propagate the request's trace id to everything this worker
+      // calls into (commit pipeline, logs) for the request's duration.
+      TraceContext::Scope trace_scope(req.trace_id);
       LSTORE_TRACE(h_request_ns_);
       HandleRequest(session.get(), req);
     }
@@ -357,17 +385,73 @@ void Server::SendResponse(Session* session, uint32_t request_id,
   }
 }
 
+namespace {
+
+/// Static name of an op, for slow-op log lines (span-name lifetime
+/// rules: the string must outlive any snapshot).
+const char* OpName(wire::Op op) {
+  switch (op) {
+    case wire::Op::kPing: return "ping";
+    case wire::Op::kCreateTable: return "create_table";
+    case wire::Op::kListTables: return "list_tables";
+    case wire::Op::kSchema: return "schema";
+    case wire::Op::kBegin: return "begin";
+    case wire::Op::kCommit: return "commit";
+    case wire::Op::kAbort: return "abort";
+    case wire::Op::kInsert: return "insert";
+    case wire::Op::kRead: return "read";
+    case wire::Op::kUpdate: return "update";
+    case wire::Op::kDelete: return "delete";
+    case wire::Op::kMultiRead: return "multiread";
+    case wire::Op::kInsertBatch: return "insert_batch";
+    case wire::Op::kUpdateBatch: return "update_batch";
+    case wire::Op::kDeleteBatch: return "delete_batch";
+    case wire::Op::kQuery: return "query";
+    case wire::Op::kMetrics: return "metrics";
+    case wire::Op::kTrace: return "trace";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 void Server::HandleRequest(Session* session, const Request& req) {
   wire::Reader in(req.payload);
   uint32_t request_id = 0;
   uint8_t op = 0;
   in.U32(&request_id);
   in.U8(&op);  // both validated at admission
+  if ((op & wire::kTracedOpFlag) != 0) {
+    op &= static_cast<uint8_t>(~wire::kTracedOpFlag);
+    uint64_t skip_trace_id = 0;
+    in.U64(&skip_trace_id);  // validated and captured at admission
+  }
 
   std::string body;
-  Status s = Execute(session, static_cast<wire::Op>(op), &in, &body);
+  Status s;
+  {
+    SpanScope span("execute");
+    s = Execute(session, static_cast<wire::Op>(op), &in, &body);
+  }
   if (s.IsInvalidArgument()) m_errors_->Increment();
-  SendResponse(session, request_id, s, body);
+  {
+    SpanScope span("reply");
+    SendResponse(session, request_id, s, body);
+  }
+
+  if (kTraceEnabled && req.trace_id != 0) {
+    // Close the root span (frame arrival -> response written), then
+    // dump the assembled timeline if the request blew the slow-op
+    // threshold. Root first, so the dump includes it.
+    uint64_t total_ns = NowNanos() - req.t0_ns;
+    RecordSpan(req.trace_id, "request", req.t0_ns, total_ns);
+    SlowOpLog* slow = db_->slow_op_log();
+    if (slow != nullptr && total_ns >= slow->threshold_ns()) {
+      slow->Dump(req.trace_id, OpName(static_cast<wire::Op>(op)), request_id,
+                 total_ns,
+                 FlightRecorder::Instance().SnapshotTrace(req.trace_id));
+    }
+  }
 }
 
 namespace {
@@ -586,6 +670,10 @@ Status Server::Execute(Session* session, wire::Op op, wire::Reader* in,
 
     case wire::Op::kMetrics:
       wire::PutString(resp, db_->Metrics().RenderPrometheus());
+      return Status::OK();
+
+    case wire::Op::kTrace:
+      wire::PutString(resp, db_->DumpTrace());
       return Status::OK();
   }
   return Status::InvalidArgument("unknown opcode");

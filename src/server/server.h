@@ -127,6 +127,8 @@ class Server {
   struct Request {
     std::string payload;
     uint64_t enqueue_ns = 0;
+    uint64_t trace_id = 0;  ///< wire-header trace id (0 = untraced)
+    uint64_t t0_ns = 0;     ///< frame arrival; origin of the root span
   };
 
   /// One connected client: its socket, transaction state, and queued

@@ -15,9 +15,18 @@
 // valid), so one malformed request does not poison the session.
 //
 // Payloads:
-//   request  = [request_id u32][op u8][op-specific body]
+//   request  = [request_id u32][op u8][trace_id u64, iff op & 0x80]
+//              [op-specific body]
 //   response = [request_id u32][status code u8][message string]
 //              [op-specific body when OK]
+//
+// The trace id is an optional header field signalled by the high bit
+// of the op byte (kTracedOpFlag): a client stamping a request sends
+// `op | 0x80` followed by the 64-bit id, and the server tags every
+// stage the request touches with it (src/obs/span.h). Frames without
+// the flag — i.e. every frame an older client sends — decode exactly
+// as before; opcode values stay below 0x80 so the flag can never
+// collide with an op.
 //
 // The request_id is chosen by the client and echoed verbatim, so a
 // pipelining client can match responses that arrive out of request
@@ -71,7 +80,12 @@ enum class Op : uint8_t {
   kDeleteBatch = 15,  ///< table, keys
   kQuery = 16,        ///< table, kind, col, range, as_of, filters
   kMetrics = 17,      ///< -> Prometheus text exposition
+  kTrace = 18,        ///< -> flight recorder as Chrome trace-event JSON
 };
+
+/// High bit of the request op byte: a u64 trace id follows the op.
+/// Ops must stay below this value (enforced where ops are decoded).
+inline constexpr uint8_t kTracedOpFlag = 0x80;
 
 /// Aggregation / terminal kind of a kQuery request.
 enum class QueryKind : uint8_t {

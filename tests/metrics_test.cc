@@ -24,7 +24,10 @@
 #include "core/table.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace lstore {
 namespace {
@@ -474,6 +477,105 @@ TEST_F(DatabaseMetricsTest, ReporterWritesAndSurvivesRotation) {
   std::unique_ptr<Database> db2;
   ASSERT_TRUE(Database::Open(dir_, opts, &db2).ok());
   EXPECT_NE(db2->GetTable("A"), nullptr);
+}
+
+// The reporter's metrics.log and the slow-op log share <dir>: both are
+// open-append-close line writers, so rotating (deleting) either one
+// mid-run must recreate just that file on its next write, leave the
+// other untouched, and never mix content between them.
+TEST_F(DatabaseMetricsTest, ReporterAndSlowOpLogCoexistAcrossRotation) {
+  DurabilityOptions opts;
+  opts.metrics_report_interval_ms = 5;
+  opts.slow_op_threshold_us = 1;  // every traced request dumps
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(dir_, opts, &db).ok());
+  ASSERT_TRUE(db->CreateTable("A", Schema({"k", "v"}), SmallConfig()).ok());
+  std::string metrics_path = dir_ + "/metrics.log";
+  std::string slow_path = dir_ + "/slowops.log";
+
+  Server server(db.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto traced_insert = [&](Value k) {
+    client.set_next_trace_id(TraceContext::NewTraceId());
+    ASSERT_TRUE(client.Insert("A", {k, k}).ok());
+  };
+  auto count_lines = [](const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    size_t n = 0;
+    while (std::getline(in, line)) ++n;
+    return n;
+  };
+  // The slow-op dump lands AFTER the reply (it includes the reply
+  // span), so a completed client call does not imply the line is on
+  // disk yet — poll for it.
+  auto wait_slow_lines = [&](size_t want) {
+    for (int i = 0; i < 400 && count_lines(slow_path) < want; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return count_lines(slow_path);
+  };
+
+  traced_insert(1);
+  for (int i = 0; i < 200 && !fs::exists(metrics_path); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(fs::exists(metrics_path));
+  if (kTraceEnabled) {
+    ASSERT_EQ(wait_slow_lines(1), 1u);
+  }
+
+  // Rotate the reporter's file away: slowops.log must survive, and
+  // the next traced request must append to it, not to a fresh file.
+  fs::remove(metrics_path);
+  traced_insert(2);
+  if (kTraceEnabled) {
+    ASSERT_EQ(wait_slow_lines(2), 2u);
+  }
+  for (int i = 0; i < 200 && !fs::exists(metrics_path); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fs::exists(metrics_path));
+
+  if (kTraceEnabled) {
+    // Rotate the slow-op log too: recreated by the next slow op.
+    fs::remove(slow_path);
+    traced_insert(3);
+    ASSERT_EQ(wait_slow_lines(1), 1u);
+  }
+
+  server.Stop();
+  db.reset();
+
+  // Each file holds only its own schema, every line intact.
+  if (kTraceEnabled) {
+    std::ifstream slow(slow_path);
+    std::string line;
+    size_t slow_lines = 0;
+    while (std::getline(slow, line)) {
+      ++slow_lines;
+      EXPECT_EQ(line.rfind("{\"ts_ms\":", 0), 0u) << line;
+      EXPECT_NE(line.find("\"spans\":["), std::string::npos) << line;
+      EXPECT_EQ(line.find("\"counters\""), std::string::npos) << line;
+    }
+    EXPECT_EQ(slow_lines, 1u);  // insert 3 only — the pre-rotation
+                                // lines left with the rotated file
+  } else {
+    EXPECT_FALSE(fs::exists(slow_path));
+  }
+  std::ifstream rep(metrics_path);
+  std::string line;
+  size_t rep_lines = 0;
+  while (std::getline(rep, line)) {
+    if (line.empty()) continue;
+    ++rep_lines;
+    EXPECT_NE(line.find("\"counters\""), std::string::npos) << line;
+    EXPECT_EQ(line.find("ts_ms"), std::string::npos) << line;
+  }
+  EXPECT_GE(rep_lines, 1u);
 }
 
 TEST(ReporterTest, StandaloneStopIsIdempotent) {

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON from the flight recorder on stdin.
+
+Used by CI: ./build/tools/lstore_cli trace | tools/check_trace_json.py
+       (or: tools/check_trace_json.py < trace.json)
+
+Checks:
+  - the document parses as JSON with the object format the recorder
+    emits: {"displayTimeUnit": "ns", "traceEvents": [...]}
+  - every event is a complete ("ph": "X") event with a non-empty
+    string name, numeric ts/dur, integer pid/tid, and an
+    args.trace_id of the form 0x<hex> that is nonzero (the recorder
+    never stores spans for trace id 0)
+  - ts and dur are finite and non-negative (spans are recorded closed
+    from a monotonic clock; a negative value means broken math)
+  - no trace id has more than one root "request" span, and every
+    non-root span of a rooted trace lies inside the root's
+    [ts, ts+dur] window (tolerance --slack-us, default 100, for
+    cross-thread clock reads at the window edges)
+  - rootless traces (the ring overwrote the root but children
+    survived — expected once a ring wraps) are counted and reported;
+    --strict turns them into failures for runs sized to fit the rings
+
+An empty traceEvents list passes (LSTORE_TRACING=OFF builds or an
+idle server): emptiness is a build/usage property, not corruption.
+Exits 0 with a summary on success, 1 with the offending event
+otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(why, detail=""):
+    print(f"check_trace_json: {why}" + (f": {detail}" if detail else ""),
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--slack-us", type=float, default=100.0,
+                    help="containment tolerance at root window edges (us)")
+    ap.add_argument("--min-events", type=int, default=0,
+                    help="fail when fewer events than this are present")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on rootless traces (no 'request' span)")
+    opts = ap.parse_args()
+
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        fail("not valid JSON", str(e))
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("displayTimeUnit") != "ns":
+        fail("displayTimeUnit is not 'ns'", repr(doc.get("displayTimeUnit")))
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    traces = {}  # trace_id -> list of (name, ts, dur)
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: bad name", repr(name))
+        if ev.get("ph") != "X":
+            fail(f"{where} ({name}): ph is not 'X'", repr(ev.get("ph")))
+        ts, dur = ev.get("ts"), ev.get("dur")
+        for field, v in (("ts", ts), ("dur", dur)):
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"{where} ({name}): bad {field}", repr(v))
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                fail(f"{where} ({name}): bad {field}", repr(ev.get(field)))
+        tid_str = (ev.get("args") or {}).get("trace_id")
+        if (not isinstance(tid_str, str) or not tid_str.startswith("0x")):
+            fail(f"{where} ({name}): bad args.trace_id", repr(tid_str))
+        try:
+            trace_id = int(tid_str, 16)
+        except ValueError:
+            fail(f"{where} ({name}): unparseable trace_id", repr(tid_str))
+        if trace_id == 0:
+            fail(f"{where} ({name}): trace_id is zero")
+        traces.setdefault(trace_id, []).append((name, ts, dur))
+
+    if len(events) < opts.min_events:
+        fail(f"only {len(events)} events, expected >= {opts.min_events}")
+
+    roots = 0
+    rootless = 0
+    for trace_id, spans in traces.items():
+        reqs = [(ts, dur) for (name, ts, dur) in spans if name == "request"]
+        if len(reqs) > 1:
+            fail(f"trace 0x{trace_id:x}: {len(reqs)} root 'request' spans "
+                 f"(want at most 1)", f"{len(spans)} spans total")
+        if not reqs:
+            if opts.strict:
+                fail(f"trace 0x{trace_id:x}: no root 'request' span",
+                     f"{len(spans)} spans")
+            rootless += 1
+            continue
+        roots += 1
+        r_ts, r_dur = reqs[0]
+        lo, hi = r_ts - opts.slack_us, r_ts + r_dur + opts.slack_us
+        for name, ts, dur in spans:
+            if name == "request":
+                continue
+            if ts < lo or ts + dur > hi:
+                fail(f"trace 0x{trace_id:x}: span '{name}' "
+                     f"[{ts:.3f}, {ts + dur:.3f}] outside root "
+                     f"[{r_ts:.3f}, {r_ts + r_dur:.3f}] (+/-{opts.slack_us}us)")
+
+    print(f"check_trace_json: OK ({len(events)} events, {roots} rooted "
+          f"traces, {rootless} rootless)")
+
+
+if __name__ == "__main__":
+    main()

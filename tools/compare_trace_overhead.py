@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare two BENCH json-lines files from the same bench binary built
+with tracing ON vs OFF, and gate on the throughput overhead.
+
+Used by CI's perf-smoke A/B:
+
+  compare_trace_overhead.py AB_traced.json AB_untraced.json [--max-pct 15]
+
+Every metric present in both files (unit ops/s, higher is better) is
+compared. Single metrics jitter +/-20% run-to-run on shared runners
+(negative "overheads" appear regularly), so the gate is the MEDIAN
+slowdown across all metrics — per-metric noise cancels while a real
+across-the-board tracing cost does not. The flight recorder is
+designed to cost under 2% — that is the number to eyeball on quiet
+hardware — while the default gate (15%) only fails a collapse, the
+same order-of-magnitude philosophy as the workload SLO bounds.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if "metric" in d and d.get("unit") == "ops/s":
+                metrics[d["metric"]] = float(d["value"])
+    return metrics
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("traced")
+    ap.add_argument("untraced")
+    ap.add_argument("--max-pct", type=float, default=15.0)
+    opts = ap.parse_args()
+
+    traced, untraced = load(opts.traced), load(opts.untraced)
+    shared = sorted(set(traced) & set(untraced))
+    if not shared:
+        print("compare_trace_overhead: no shared ops/s metrics",
+              file=sys.stderr)
+        sys.exit(1)
+
+    overheads = []
+    for k in shared:
+        if traced[k] <= 0 or untraced[k] <= 0:
+            continue
+        pct = (untraced[k] - traced[k]) / untraced[k] * 100.0
+        overheads.append(pct)
+        print(f"{k:28s} traced={traced[k]:14.0f} untraced={untraced[k]:14.0f}"
+              f" overhead={pct:+7.2f}%")
+    med = statistics.median(overheads)
+    print(f"median overhead: {med:+.2f}%  worst: {max(overheads):+.2f}% "
+          f"(design target <2% on quiet hardware; gate median "
+          f"{opts.max_pct:.0f}%)")
+    if med >= opts.max_pct:
+        print(f"compare_trace_overhead: median {med:.2f}% exceeds the "
+              f"{opts.max_pct:.0f}% gate", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,11 @@
 //   sum <table> <col>                 SUM(col) + visible rows
 //   count <table>                     COUNT(*)
 //   metrics                           Prometheus exposition dump
+//   trace [--out FILE]                flight recorder as Chrome
+//                                     trace-event JSON (load into
+//                                     chrome://tracing or Perfetto);
+//                                     empty when the server was built
+//                                     with LSTORE_TRACING=OFF
 //   bench [driver flags]              run the wire-mode workload
 //                                     harness against the server,
 //                                     with bench/'s shared flag
@@ -55,7 +60,7 @@ int Usage() {
                "[--workers N] [--queue N] [--inflight N]\n"
                "       lstore_cli [--host H] [--port P] "
                "ping|tables|create|put|get|del|load|sum|count|metrics|"
-               "bench ...\n");
+               "trace|bench ...\n");
   return 2;
 }
 
@@ -300,6 +305,30 @@ int main(int argc, char** argv) {
     s = client.Metrics(&text);
     if (!s.ok()) return Fail("metrics", s);
     std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "trace") {
+    std::string json;
+    s = client.Trace(&json);
+    if (!s.ok()) return Fail("trace", s);
+    std::string out_path;
+    for (size_t i = 0; i + 1 < rest.size(); i += 2) {
+      if (rest[i] == "--out") out_path = rest[i + 1];
+      else return Usage();
+    }
+    if (out_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "trace: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("trace written to %s\n", out_path.c_str());
+    }
     return 0;
   }
   return Usage();
