@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "checkpoint/checkpoint_manager.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace lstore {
@@ -190,13 +191,27 @@ Status ArchiveManager::SealSegment(const std::string& name,
 Status ArchiveManager::SealRedoPrefix(const std::string& table, uint64_t lo,
                                       uint64_t hi, std::string_view bytes) {
   std::lock_guard<std::mutex> g(mu_);
-  return SealSegment(SegmentName(table + kRedoStemSuffix, lo, hi), bytes);
+  Status s = SealSegment(SegmentName(table + kRedoStemSuffix, lo, hi), bytes);
+  if (s.ok() && events_ != nullptr) {
+    events_->Emit(EventSeverity::kInfo, "archive", "archive_seal",
+                  "\"log\":\"" + JsonEscape(table) + ".redo\",\"lo\":" +
+                      std::to_string(lo) + ",\"hi\":" + std::to_string(hi) +
+                      ",\"bytes\":" + std::to_string(bytes.size()));
+  }
+  return s;
 }
 
 Status ArchiveManager::SealCommitPrefix(uint64_t lo, uint64_t hi,
                                         std::string_view bytes) {
   std::lock_guard<std::mutex> g(mu_);
-  return SealSegment(SegmentName(kCommitStem, lo, hi), bytes);
+  Status s = SealSegment(SegmentName(kCommitStem, lo, hi), bytes);
+  if (s.ok() && events_ != nullptr) {
+    events_->Emit(EventSeverity::kInfo, "archive", "archive_seal",
+                  "\"log\":\"commit\",\"lo\":" + std::to_string(lo) +
+                      ",\"hi\":" + std::to_string(hi) +
+                      ",\"bytes\":" + std::to_string(bytes.size()));
+  }
+  return s;
 }
 
 Status ArchiveManager::ArchiveManifestCopy(uint64_t checkpoint_id) {
@@ -371,6 +386,13 @@ Status ArchiveManager::EnforceRetention() {
       }
       if (seg.hi <= mark) {
         std::remove(seg.path.c_str());
+        if (events_ != nullptr) {
+          events_->Emit(EventSeverity::kInfo, "archive", "retention_evict",
+                        "\"what\":\"segment\",\"stem\":\"" +
+                            JsonEscape(seg.stem) + "\",\"lo\":" +
+                            std::to_string(seg.lo) + ",\"hi\":" +
+                            std::to_string(seg.hi));
+        }
         dropped = true;
       }
     }
@@ -390,6 +412,11 @@ Status ArchiveManager::EnforceRetention() {
     std::remove(manifests.front().path.c_str());
     for (const ManifestEntry& e : floor.entries) {
       std::remove((archive_dir_ + "/" + e.file).c_str());
+    }
+    if (events_ != nullptr) {
+      events_->Emit(EventSeverity::kInfo, "archive", "retention_evict",
+                    "\"what\":\"epoch\",\"checkpoint_id\":" +
+                        std::to_string(manifests.front().id));
     }
   }
 }

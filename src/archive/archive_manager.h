@@ -42,6 +42,8 @@
 
 namespace lstore {
 
+class EventLog;
+
 /// One sealed log segment, parsed from its file name.
 struct ArchiveSegment {
   uint64_t lo = 0;     ///< first LSN the segment carries
@@ -73,6 +75,11 @@ class ArchiveManager {
     retention_ns_ = registry->GetHistogram(
         "lstore_archive_retention_ns", "Retention enforcement pass (ns)");
   }
+
+  /// Wire the engine event log (nullable): seals emit `archive_seal`,
+  /// retention deletions emit `retention_evict`. Call before
+  /// concurrent use (Database::Open does, next to set_metrics).
+  void set_event_log(EventLog* events) { events_ = events; }
 
   /// Create the archive directory and sweep stale .tmp files (a crash
   /// mid-seal leaves at most one; the sealed data still lives in the
@@ -144,6 +151,7 @@ class ArchiveManager {
   Counter* seals_total_ = nullptr;
   Histogram* seal_ns_ = nullptr;
   Histogram* retention_ns_ = nullptr;
+  EventLog* events_ = nullptr;
 };
 
 }  // namespace lstore

@@ -11,6 +11,7 @@
 #include "buffer/segment_store.h"
 #include "common/epoch.h"
 #include "log/redo_log.h"
+#include "obs/event_log.h"
 #include "storage/compressed_column.h"
 #include "storage/compression/varint.h"
 
@@ -318,9 +319,29 @@ const CompressedColumn* BufferPool::Load(SegmentPage* page) {
   return col;
 }
 
+void BufferPool::NoteBudgetPressure(bool over) {
+  if (over_budget_.exchange(over, std::memory_order_acq_rel) == over) return;
+  EventLog* events = events_.load(std::memory_order_acquire);
+  if (events == nullptr) return;
+  std::string fields =
+      "\"resident_bytes\":" +
+      std::to_string(bytes_resident_.load(std::memory_order_relaxed)) +
+      ",\"budget_bytes\":" + std::to_string(budget_);
+  if (over) {
+    events->Emit(EventSeverity::kWarn, "buffer_pool", "budget_pressure",
+                 std::move(fields));
+  } else {
+    events->Emit(EventSeverity::kInfo, "buffer_pool", "budget_relieved",
+                 std::move(fields));
+  }
+}
+
 void BufferPool::EnforceBudget() {
   if (budget_ == 0) return;
-  if (bytes_resident_.load(std::memory_order_acquire) <= budget_) return;
+  if (bytes_resident_.load(std::memory_order_acquire) <= budget_) {
+    NoteBudgetPressure(false);
+    return;
+  }
   // One pass at a time, and DetachDomain waits the pass out: between
   // collecting a victim and retiring it we hold a raw EpochManager
   // pointer, so a table must not finish tearing down mid-pass.
@@ -370,6 +391,10 @@ void BufferPool::EnforceBudget() {
     if (epochs != last) epochs->TryReclaim();
     last = epochs;
   }
+  // Pressure = the sweep could not get back under budget (the pinned
+  // working set alone exceeds it); transitions emit events.
+  NoteBudgetPressure(bytes_resident_.load(std::memory_order_acquire) >
+                     budget_);
 }
 
 BufferPoolStats BufferPool::stats() const {

@@ -44,6 +44,7 @@ namespace lstore {
 class BufferPool;
 class CompressedColumn;
 class EpochManager;
+class EventLog;
 class SegmentStore;
 
 /// On-disk layout of a swapped segment payload. kVarint is the
@@ -197,6 +198,14 @@ class BufferPool {
   BufferPoolStats stats() const;
   uint64_t budget_bytes() const { return budget_; }
 
+  /// Wire the engine event log (nullable): EnforceBudget emits
+  /// `budget_pressure` (warn) when a sweep cannot get back under
+  /// budget — the pinned working set alone exceeds it — and
+  /// `budget_relieved` (info) once a later sweep succeeds.
+  void set_event_log(EventLog* events) {
+    events_.store(events, std::memory_order_release);
+  }
+
   /// Value of the LSTORE_BUFFER_POOL_BYTES test knob (0 = unset): CI
   /// uses it to force every suite through the miss/evict path.
   static uint64_t EnvBudgetBytes();
@@ -206,8 +215,13 @@ class BufferPool {
   /// Remove a page from the clock ring; caller holds mu_.
   void UnlinkLocked(SegmentPage* page);
   void CountHit();
+  /// Record the post-sweep pressure state, emitting an event on each
+  /// transition (see set_event_log).
+  void NoteBudgetPressure(bool over);
 
   const uint64_t budget_;
+  std::atomic<EventLog*> events_{nullptr};
+  std::atomic<bool> over_budget_{false};
   /// Hit counting is the only pool-global write on the read hot path;
   /// shard it so point reads across threads do not all RMW one cache
   /// line. stats() sums the shards.

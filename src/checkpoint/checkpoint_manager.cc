@@ -276,7 +276,9 @@ Status ReadCatalog(const std::string& dir, std::vector<CatalogEntry>* entries,
 
 CheckpointManager::CheckpointManager(Database* db, std::string dir,
                                      DurabilityOptions opts)
-    : db_(db), dir_(std::move(dir)), opts_(opts) {}
+    : db_(db), dir_(std::move(dir)), opts_(opts) {
+  hb_ = db_->health_.Register("checkpointer");
+}
 
 CheckpointManager::~CheckpointManager() { Stop(); }
 
@@ -302,11 +304,14 @@ Status CheckpointManager::RunCheckpoint() {
   // tables must not be dropped while we hold raw pointers to them.
   std::lock_guard<std::mutex> ddl(db_->ddl_mu_);
   std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  HeartbeatWorkScope work(hb_.get());
   uint64_t id;
   {
     std::lock_guard<std::mutex> g(mu_);
     id = next_checkpoint_id_;
   }
+  db_->events_.Emit(EventSeverity::kInfo, "checkpointer", "checkpoint_begin",
+                    "\"id\":" + std::to_string(id));
 
   auto tables = db_->TableHandles();
   Manifest m;
@@ -351,7 +356,11 @@ Status CheckpointManager::RunCheckpoint() {
   if (status.ok() && db_->commit_log_ != nullptr) {
     status = db_->commit_log_->Flush(/*sync=*/true);
   }
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    db_->events_.Emit(EventSeverity::kError, "checkpointer", "checkpoint_end",
+                      "\"id\":" + std::to_string(id) + ",\"ok\":false");
+    return status;
+  }
 
   // Phase 2 — capture (commits proceed; the capture resolves
   // in-flight outcomes through the live transaction manager). Buffer-
@@ -360,6 +369,7 @@ Status CheckpointManager::RunCheckpoint() {
   // range durable BEFORE the manifest that names it is published.
   uint64_t capture_t0 = kTraceEnabled ? NowNanos() : 0;
   for (size_t i = 0; i < tables.size(); ++i) {
+    if (hb_ != nullptr) hb_->Beat();  // progress between table captures
     Table* t = tables[i].second;
     ManifestEntry& e = m.entries[i];
     status = CheckpointIO::WriteTable(*t, dir_ + "/" + e.file,
@@ -429,6 +439,8 @@ Status CheckpointManager::RunCheckpoint() {
     for (const std::string& f : new_files) {
       std::remove((dir_ + "/" + f).c_str());
     }
+    db_->events_.Emit(EventSeverity::kError, "checkpointer", "checkpoint_end",
+                      "\"id\":" + std::to_string(id) + ",\"ok\":false");
     return status;
   }
 
@@ -485,6 +497,11 @@ Status CheckpointManager::RunCheckpoint() {
             "Checkpoint truncation phase: log seal + rewrite (ns)")
         ->Record(NowNanos() - truncate_t0);
   }
+  if (opts_.truncate_log_after_checkpoint) {
+    db_->events_.Emit(EventSeverity::kInfo, "checkpointer", "log_truncate",
+                      "\"id\":" + std::to_string(id) + ",\"commit_log_mark\":" +
+                          std::to_string(m.commit_log_mark));
+  }
   db_->metrics_
       .GetCounter("lstore_checkpoints_total", "Checkpoints published")
       ->Add(1);
@@ -512,6 +529,11 @@ Status CheckpointManager::RunCheckpoint() {
     Status rs = archive->EnforceRetention();
     if (!rs.ok() && status.ok()) status = rs;
   }
+  db_->events_.Emit(
+      status.ok() ? EventSeverity::kInfo : EventSeverity::kWarn,
+      "checkpointer", "checkpoint_end",
+      "\"id\":" + std::to_string(id) +
+          (status.ok() ? ",\"ok\":true" : ",\"ok\":false"));
   return status;
 }
 
@@ -591,6 +613,7 @@ void CheckpointManager::Loop() {
                  [this] { return !running_; });
     if (!running_) break;
     lk.unlock();
+    if (hb_ != nullptr) hb_->Beat();  // liveness per poll, even when idle
 
     bool due = false;
     if (opts_.checkpoint_interval_ms != 0) {

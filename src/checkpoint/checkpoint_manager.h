@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/health.h"
 
 namespace lstore {
 
@@ -128,6 +130,9 @@ class CheckpointManager {
   std::string dir_;
   DurabilityOptions opts_;
 
+  /// "checkpointer" heartbeat: busy across each RunCheckpoint, beaten
+  /// per captured table and per background poll.
+  std::shared_ptr<Heartbeat> hb_;
   std::mutex checkpoint_mu_;  ///< serializes RunCheckpoint
   mutable std::mutex mu_;     ///< guards the fields below
   std::condition_variable cv_;

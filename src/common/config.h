@@ -16,6 +16,7 @@
 namespace lstore {
 
 class BufferPool;
+class HealthRegistry;
 class MetricsRegistry;
 class SegmentStore;
 
@@ -95,6 +96,18 @@ struct TableConfig {
   /// registry, so Table::metrics() is always valid. Not persisted to
   /// the catalog.
   MetricsRegistry* metrics = nullptr;
+
+  /// Health registry (src/obs/health.h) the table's merge thread
+  /// registers its heartbeat with ("merge:<table>"). Wired by the
+  /// owning Database like `metrics`; nullptr = no heartbeat (the
+  /// standalone-table case). Not persisted to the catalog.
+  HealthRegistry* health = nullptr;
+
+  /// Test hook: while non-null and set, the merge loop parks right
+  /// after claiming a task (busy, not beating) — how health tests
+  /// inject a deterministic stall without touching merge internals.
+  /// Not persisted to the catalog.
+  std::atomic<int>* merge_test_park = nullptr;
 };
 
 /// Durability knobs of a database directory (Section 5.1.3). A durable
@@ -180,6 +193,32 @@ struct DurabilityOptions {
   /// Requires tracing compiled in (LSTORE_TRACING=ON) and applies to
   /// traced requests only — untraced requests have no timeline to dump.
   uint64_t slow_op_threshold_us = 0;
+
+  /// Size bound of <dir>/slowops.log: once the file reaches this many
+  /// bytes it rotates to slowops.log.1 before the next dump (the pair
+  /// bounds disk at ~2x the limit). 0 (default) = unbounded.
+  uint64_t slow_op_log_max_bytes = 0;
+
+  /// Watchdog sweep interval (src/obs/health.h): every this many
+  /// milliseconds the background watchdog classifies each registered
+  /// actor healthy|slow|stalled, publishes lstore_health_* gauges,
+  /// and on a new stall emits an event + one flight-recorder dump.
+  /// 0 = no background thread (Database::Health() still sweeps on
+  /// demand).
+  uint64_t watchdog_interval_ms = 1000;
+
+  /// Per-actor watchdog deadlines applied at heartbeat registration:
+  /// a busy actor silent past `health_slow_ms` is slow, past
+  /// `health_stall_ms` stalled. 0 = the registry defaults (1s / 10s).
+  uint64_t health_slow_ms = 0;
+  uint64_t health_stall_ms = 0;
+
+  /// Structured event log (src/obs/event_log.h): lifecycle events go
+  /// to a bounded in-memory ring of this many entries plus (durable
+  /// databases) JSON lines in <dir>/events.log, size-rotated to
+  /// events.log.1 past `event_log_max_bytes` (0 = unbounded file).
+  uint64_t event_ring_capacity = 256;
+  uint64_t event_log_max_bytes = 0;
 
   /// Eagerly verify every segment-store byte range the checkpoint
   /// references during Open (reads the ranges back and checks their

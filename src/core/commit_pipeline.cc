@@ -106,6 +106,7 @@ Status GroupCommitQueue::Commit(Transaction* txn, Timestamp commit_time,
 
 void GroupCommitQueue::ProcessBatch(const std::vector<Request*>& batch) {
   std::lock_guard<std::mutex> window(window_mu_);
+  HeartbeatWorkScope work(hb_.get());
   batches_.fetch_add(1, std::memory_order_relaxed);
   if (batches_total_ != nullptr) batches_total_->Add(1);
   if (batch_size_ != nullptr) batch_size_->Record(batch.size());

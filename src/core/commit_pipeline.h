@@ -32,8 +32,11 @@
 #include <mutex>
 #include <vector>
 
+#include <memory>
+
 #include "common/status.h"
 #include "log/commit_log.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "txn/transaction.h"
 
@@ -93,6 +96,13 @@ class GroupCommitQueue {
   /// persists, recovery aborts the transaction everywhere anyway).
   void AbortCross(TxnId txn_id);
 
+  /// Registers the "group_commit" heartbeat: the leader marks itself
+  /// busy for each batch's durability sequence, so a leader wedged in
+  /// an fsync shows up as slow/stalled instead of merely idle.
+  void RegisterHeartbeat(HealthRegistry* registry) {
+    hb_ = registry->Register("group_commit");
+  }
+
   /// Held by the leader for the whole durability sequence of a batch.
   /// The checkpoint quiesces through it: taking this mutex while
   /// recording log watermarks guarantees no commit is mid-flight
@@ -135,6 +145,7 @@ class GroupCommitQueue {
   bool leader_active_ = false;
   std::mutex window_mu_;
   std::atomic<uint64_t> batches_{0};
+  std::shared_ptr<Heartbeat> hb_;  ///< "group_commit" (null until wired)
 
   /// Registry handles (null when no registry was wired).
   Histogram* queue_wait_ns_ = nullptr;

@@ -27,6 +27,12 @@ namespace lstore {
 static constexpr char kCommitLogFile[] = "COMMIT_LOG";
 
 Database::Database() {
+  // The watchdog exists on every database (in-memory ones get
+  // on-demand sweeps via Health(); only durable opens start its
+  // thread). DumpTrace reads the process-wide flight recorder, so the
+  // capture is safe for the watchdog's whole lifetime.
+  watchdog_ = std::make_unique<Watchdog>(&health_, &events_, &metrics_,
+                                         [this] { return DumpTrace(); });
   // Snapshot-time collector: mirror levels kept by their subsystems
   // into gauges — zero cost on the subsystems' hot paths. `this`
   // outlives the registry (both are members), so the capture is safe.
@@ -73,12 +79,24 @@ Database::Database() {
 }
 
 Database::~Database() {
+  // The watchdog stops BEFORE the subsystems it watches: no sweep may
+  // observe a half-destroyed actor or emit into a dying event log.
+  if (watchdog_ != nullptr) watchdog_->Stop();
+  if (durable()) {
+    events_.Emit(EventSeverity::kInfo, "db", "close");
+  }
   // Stop the reporter first: its snapshot callback walks tables and
   // the buffer pool.
   if (reporter_ != nullptr) reporter_->Stop();
   // Stop background checkpointing before tables are torn down (the
   // unique_ptr member order would do it too; be explicit).
   if (checkpoint_manager_ != nullptr) checkpoint_manager_->Stop();
+}
+
+HealthReport Database::Health() {
+  HealthReport report = watchdog_->SweepOnce();
+  report.recent_events = events_.Recent(32);
+  return report;
 }
 
 // ---------------------------------------------------------------------------
@@ -111,8 +129,10 @@ Status Database::CreateTableInternal(const std::string& name, Schema schema,
       config.verify_segment_refs = durability_.verify_segment_store_on_open;
     }
   }
-  // Every table of a database records into the shared registry.
+  // Every table of a database records into the shared registry, and
+  // its merge thread heartbeats into the shared health registry.
   config.metrics = &metrics_;
+  config.health = &health_;
   SpinGuard g(latch_);
   for (const auto& e : tables_) {
     if (e.name == name) return Status::AlreadyExists("table exists");
@@ -271,6 +291,17 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   db->dir_ = dir;
   db->durability_ = opts;
 
+  // Health + events first: every subsystem constructed below may
+  // register a heartbeat or emit a lifecycle event.
+  db->health_.set_default_deadlines(opts.health_slow_ms,
+                                    opts.health_stall_ms);
+  db->events_.Configure(
+      dir + "/events.log", opts.event_log_max_bytes,
+      db->metrics_.GetCounter("lstore_events_total",
+                              "Structured engine events emitted"),
+      opts.event_ring_capacity);
+  db->watchdog_->set_dump_dir(dir);
+
   // Size the shared scan pool before anything can lazily build it
   // (first-configuration-wins; see ThreadPool::ConfigureShared).
   if (opts.scan_threads != 0) {
@@ -287,6 +318,7 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
                              : BufferPool::EnvBudgetBytes();
   if (pool_budget > 0) {
     db->buffer_pool_ = std::make_unique<BufferPool>(pool_budget);
+    db->buffer_pool_->set_event_log(&db->events_);
   }
 
   // Log archiving: the manager exists (and its directory is swept of
@@ -294,6 +326,7 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   if (opts.archive_enabled) {
     db->archive_ = std::make_unique<ArchiveManager>(dir, opts);
     db->archive_->set_metrics(&db->metrics_);
+    db->archive_->set_event_log(&db->events_);
     LSTORE_RETURN_IF_ERROR(db->archive_->EnsureDir());
   }
 
@@ -344,6 +377,7 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
   db->group_commit_ = std::make_unique<GroupCommitQueue>(
       db->commit_log_.get(), opts.group_commit_window_us, opts.sync_commit,
       &db->metrics_);
+  db->group_commit_->RegisterHeartbeat(&db->health_);
 
   for (const CatalogEntry& ce : catalog) {
     TableConfig cfg = ce.config;
@@ -400,7 +434,7 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
     Database* raw = db.get();
     db->reporter_ = std::make_unique<StatsReporter>(
         dir + "/metrics.log", opts.metrics_report_interval_ms,
-        [raw] { return raw->Metrics(); });
+        [raw] { return raw->Metrics(); }, db->health_.Register("reporter"));
   }
   if (kTraceEnabled && opts.slow_op_threshold_us > 0) {
     // Same directory (and rotation idiom) as metrics.log; the counter
@@ -409,8 +443,12 @@ Status Database::Open(const std::string& dir, const DurabilityOptions& opts,
         dir + "/slowops.log", opts.slow_op_threshold_us,
         db->metrics_.GetCounter(
             "lstore_server_slow_ops_total",
-            "Traced requests that exceeded slow_op_threshold_us"));
+            "Traced requests that exceeded slow_op_threshold_us"),
+        opts.slow_op_log_max_bytes);
   }
+  db->events_.Emit(EventSeverity::kInfo, "db", "open",
+                   "\"tables\":" + std::to_string(catalog.size()));
+  db->watchdog_->Start(opts.watchdog_interval_ms);
   *out = std::move(db);
   return Status::OK();
 }

@@ -31,6 +31,8 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "core/table.h"
+#include "obs/event_log.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "txn/txn.h"
 
@@ -202,6 +204,25 @@ class Database : public TxnContext {
   /// DurabilityOptions::slow_op_threshold_us > 0.
   SlowOpLog* slow_op_log() { return slow_op_log_.get(); }
 
+  /// The heartbeat registry every background actor of this engine
+  /// registers with (src/obs/health.h) — merge threads, the
+  /// checkpointer, the group-commit leader, the stats reporter, and a
+  /// co-resident Server's workers/readers.
+  HealthRegistry& health() { return health_; }
+
+  /// The structured event log (src/obs/event_log.h): in-memory ring
+  /// always; plus <dir>/events.log JSON lines when durable.
+  EventLog& event_log() { return events_; }
+
+  /// The watchdog sweeping the health registry. Its background thread
+  /// runs only on a durable database with watchdog_interval_ms > 0;
+  /// Health() sweeps on demand either way.
+  Watchdog* watchdog() { return watchdog_.get(); }
+
+  /// One on-demand watchdog sweep plus the newest retained events:
+  /// the typed report behind the HEALTH wire op / `lstore_cli status`.
+  HealthReport Health();
+
  private:
   friend class CheckpointManager;
 
@@ -227,6 +248,14 @@ class Database : public TxnContext {
   /// that records into it (tables, logs, pipeline, checkpointing) so
   /// the handles they cache stay valid for their whole lifetime.
   MetricsRegistry metrics_;
+  /// Health registry + event log: declared right after metrics_ (and
+  /// before every subsystem) for the same reason — actors hold
+  /// heartbeat handles and emit events for their whole lifetime. The
+  /// watchdog itself only reads these members, but its thread is
+  /// stopped FIRST in ~Database so no sweep races subsystem teardown.
+  HealthRegistry health_;
+  EventLog events_;
+  std::unique_ptr<Watchdog> watchdog_;
   /// Serializes durable DDL (CreateTable/DropTable/CreateSecondaryIndex)
   /// against checkpoints: a checkpoint iterates raw Table pointers, so
   /// a concurrent drop must not destroy a table mid-capture. Ordering:

@@ -4,6 +4,9 @@
 
 #include "core/merge.h"
 
+#include <chrono>
+#include <memory>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -11,6 +14,7 @@
 #include "common/bitutil.h"
 #include "core/historic.h"
 #include "core/table.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 
 namespace lstore {
@@ -54,6 +58,14 @@ void MergeManager::Drain() {
 }
 
 void MergeManager::Loop() {
+  // Busy-scoped heartbeat "merge:<table>": an idle merge thread parked
+  // on cv_.wait is healthy by definition; only time spent inside a
+  // claimed task counts against the slow/stall deadlines. Held as a
+  // local shared_ptr so exiting the loop unregisters the actor.
+  std::shared_ptr<Heartbeat> hb;
+  if (table_->config().health != nullptr) {
+    hb = table_->config().health->Register("merge:" + table_->name());
+  }
   for (;;) {
     uint64_t range_id;
     {
@@ -64,6 +76,17 @@ void MergeManager::Loop() {
       queue_.pop_front();
       busy_ = true;
     }
+    HeartbeatWorkScope work(hb.get());
+
+    // Test hook: park here — after claiming a task (busy, not beating)
+    // — so health tests can simulate a stalled merge deterministically.
+    if (std::atomic<int>* park = table_->config().merge_test_park;
+        park != nullptr && park->load(std::memory_order_acquire) != 0) {
+      park->store(2, std::memory_order_release);  // ack: parked
+      while (park->load(std::memory_order_acquire) != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
 
     // Section 4.4: updates may use fine-grained ranges while merges
     // operate at coarser granularity — one task consolidates
@@ -72,6 +95,7 @@ void MergeManager::Loop() {
     if (fanin < 1) fanin = 1;
     uint64_t first = (range_id / fanin) * fanin;
     for (uint64_t id = first; id < first + fanin; ++id) {
+      if (hb != nullptr) hb->Beat();  // progress between ranges
       Table::Range* r = table_->GetRange(id);
       if (r == nullptr) continue;
       // Allow re-enqueueing while we work so no trigger is lost.

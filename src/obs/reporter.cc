@@ -6,10 +6,12 @@
 namespace lstore {
 
 StatsReporter::StatsReporter(std::string path, uint64_t interval_ms,
-                             std::function<MetricsSnapshot()> snapshot_fn)
+                             std::function<MetricsSnapshot()> snapshot_fn,
+                             std::shared_ptr<Heartbeat> hb)
     : path_(std::move(path)),
       interval_ms_(interval_ms == 0 ? 1 : interval_ms),
-      snapshot_fn_(std::move(snapshot_fn)) {
+      snapshot_fn_(std::move(snapshot_fn)),
+      hb_(std::move(hb)) {
   thread_ = std::thread(&StatsReporter::Loop, this);
 }
 
@@ -30,7 +32,10 @@ void StatsReporter::Loop() {
                  [this] { return stop_; });
     if (stop_) break;
     lk.unlock();
-    WriteLine();
+    {
+      HeartbeatWorkScope work(hb_.get());
+      WriteLine();
+    }
     lk.lock();
   }
   lk.unlock();

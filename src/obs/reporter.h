@@ -14,10 +14,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 
 namespace lstore {
@@ -25,9 +27,12 @@ namespace lstore {
 class StatsReporter {
  public:
   /// Starts the thread. `snapshot_fn` is called once per tick on the
-  /// reporter thread; it must stay valid until Stop().
+  /// reporter thread; it must stay valid until Stop(). `hb` (nullable)
+  /// is beaten once per tick so the watchdog can spot a wedged
+  /// reporter.
   StatsReporter(std::string path, uint64_t interval_ms,
-                std::function<MetricsSnapshot()> snapshot_fn);
+                std::function<MetricsSnapshot()> snapshot_fn,
+                std::shared_ptr<Heartbeat> hb = nullptr);
   ~StatsReporter() { Stop(); }
 
   StatsReporter(const StatsReporter&) = delete;
@@ -45,6 +50,7 @@ class StatsReporter {
   std::string path_;
   uint64_t interval_ms_;
   std::function<MetricsSnapshot()> snapshot_fn_;
+  std::shared_ptr<Heartbeat> hb_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

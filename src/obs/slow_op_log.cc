@@ -4,13 +4,16 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/event_log.h"
+
 namespace lstore {
 
 SlowOpLog::SlowOpLog(std::string path, uint64_t threshold_us,
-                     Counter* slow_ops_total)
+                     Counter* slow_ops_total, uint64_t max_bytes)
     : path_(std::move(path)),
       threshold_ns_(threshold_us * 1000),
-      slow_ops_total_(slow_ops_total) {}
+      slow_ops_total_(slow_ops_total),
+      max_bytes_(max_bytes) {}
 
 void SlowOpLog::Dump(uint64_t trace_id, const char* op, uint32_t request_id,
                      uint64_t total_ns,
@@ -41,13 +44,10 @@ void SlowOpLog::Dump(uint64_t trace_id, const char* op, uint32_t request_id,
   line += "]}\n";
 
   std::lock_guard<std::mutex> lock(mu_);
-  // Open-append-close per line (reporter idiom): rotation-safe, and a
-  // whole line lands in one fwrite so concurrent external readers
-  // never see a torn record.
-  std::FILE* f = std::fopen(path_.c_str(), "a");
-  if (f == nullptr) return;
-  std::fwrite(line.data(), 1, line.size(), f);
-  std::fclose(f);
+  // Open-append-close per line with the shared size-rotation policy
+  // (event_log.h): rotation-safe, and a whole line lands in one
+  // fwrite so concurrent external readers never see a torn record.
+  AppendLineRotated(path_, max_bytes_, line);
   if (slow_ops_total_ != nullptr) slow_ops_total_->Add(1);
 }
 

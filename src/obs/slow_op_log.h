@@ -36,7 +36,10 @@ class SlowOpLog {
  public:
   /// `threshold_us` must be > 0 (the owner gates construction on it).
   /// `slow_ops_total` (nullable) is incremented once per dumped line.
-  SlowOpLog(std::string path, uint64_t threshold_us, Counter* slow_ops_total);
+  /// With `max_bytes` > 0 the file rotates to <path>.1 once it
+  /// reaches the bound (DurabilityOptions::slow_op_log_max_bytes).
+  SlowOpLog(std::string path, uint64_t threshold_us, Counter* slow_ops_total,
+            uint64_t max_bytes = 0);
 
   SlowOpLog(const SlowOpLog&) = delete;
   SlowOpLog& operator=(const SlowOpLog&) = delete;
@@ -57,6 +60,7 @@ class SlowOpLog {
   const std::string path_;
   const uint64_t threshold_ns_;
   Counter* const slow_ops_total_;
+  const uint64_t max_bytes_;  ///< 0 = unbounded
   std::mutex mu_;  ///< serializes concurrent dumps into the file
 };
 

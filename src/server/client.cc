@@ -361,6 +361,54 @@ Status Client::Trace(std::string* trace_json) {
   return Status::OK();
 }
 
+Status Client::Health(HealthReport* report) {
+  std::string resp;
+  LSTORE_RETURN_IF_ERROR(Call(wire::Op::kHealth, {}, &resp));
+  wire::Reader in(resp);
+  uint32_t actor_count = 0;
+  if (!in.U32(&actor_count)) {
+    return Status::Corruption("malformed Health response");
+  }
+  report->actors.clear();
+  report->recent_events.clear();
+  report->healthy = report->slow = report->stalled = 0;
+  for (uint32_t i = 0; i < actor_count; ++i) {
+    ActorHealth a;
+    uint8_t verdict = 0, busy = 0;
+    if (!in.String(&a.name) || !in.U8(&verdict) || !in.U8(&busy) ||
+        !in.U64(&a.since_beat_ms) || !in.U64(&a.beats) || !in.U64(&a.slow_ms) ||
+        !in.U64(&a.stall_ms) ||
+        verdict > static_cast<uint8_t>(HealthVerdict::kStalled)) {
+      return Status::Corruption("malformed Health response");
+    }
+    a.verdict = static_cast<HealthVerdict>(verdict);
+    a.busy = busy != 0;
+    switch (a.verdict) {
+      case HealthVerdict::kHealthy: ++report->healthy; break;
+      case HealthVerdict::kSlow: ++report->slow; break;
+      case HealthVerdict::kStalled: ++report->stalled; break;
+    }
+    report->actors.push_back(std::move(a));
+  }
+  uint32_t event_count = 0;
+  if (!in.U32(&event_count)) {
+    return Status::Corruption("malformed Health response");
+  }
+  for (uint32_t i = 0; i < event_count; ++i) {
+    Event e;
+    uint8_t severity = 0;
+    if (!in.U64(&e.ts_ms) || !in.U8(&severity) || !in.String(&e.actor) ||
+        !in.String(&e.kind) || !in.String(&e.fields) ||
+        severity > static_cast<uint8_t>(EventSeverity::kError)) {
+      return Status::Corruption("malformed Health response");
+    }
+    e.severity = static_cast<EventSeverity>(severity);
+    report->recent_events.push_back(std::move(e));
+  }
+  if (!in.done()) return Status::Corruption("malformed Health response");
+  return Status::OK();
+}
+
 void Client::set_next_trace_id(uint64_t trace_id) {
   channel_.set_next_trace_id(trace_id);
 }

@@ -35,6 +35,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/health.h"
 #include "server/client_channel.h"
 #include "server/wire.h"
 #include "txn/transaction.h"
@@ -159,6 +160,10 @@ class Client {
   /// (Database::DumpTrace); empty event list when the server was
   /// built with LSTORE_TRACING=OFF.
   Status Trace(std::string* trace_json);
+
+  /// The server's Database::Health(): per-actor watchdog verdicts plus
+  /// the most recent structured events.
+  Status Health(HealthReport* report);
 
   /// Expose the pipelined core's one-shot trace stamp (see
   /// ClientChannel::set_next_trace_id): the next request this client

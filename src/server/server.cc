@@ -105,8 +105,11 @@ Status Server::Start() {
   acceptor_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(cfg_.workers);
   for (uint32_t i = 0; i < cfg_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  db_->event_log().Emit(EventSeverity::kInfo, "server", "start",
+                        "\"port\":" + std::to_string(port_) + ",\"workers\":" +
+                            std::to_string(cfg_.workers));
   return Status::OK();
 }
 
@@ -148,6 +151,9 @@ void Server::Stop() {
     FinalizeSessionLocked(s);
   }
   if (g_queue_depth_ != nullptr) g_queue_depth_->Set(0);
+  l.unlock();
+  db_->event_log().Emit(EventSeverity::kInfo, "server", "stop",
+                        "\"port\":" + std::to_string(port_));
 }
 
 ServerStats Server::stats() const {
@@ -195,9 +201,15 @@ void Server::AcceptLoop() {
 }
 
 void Server::ReaderLoop(std::shared_ptr<Session> session) {
+  // Busy-scoped heartbeat: a reader blocked in ReadFrame is waiting on
+  // the client (healthy); only frame processing counts as work. Local
+  // shared_ptr → the actor unregisters when the connection ends.
+  std::shared_ptr<Heartbeat> hb =
+      db_->health().Register("server.reader." + std::to_string(session->id));
   for (;;) {
     std::string payload;
     Status s = wire::ReadFrame(session->fd, cfg_.max_frame_bytes, &payload);
+    HeartbeatWorkScope work(hb.get());
     if (!s.ok()) {
       if (s.IsCorruption() || s.IsInvalidArgument()) {
         // A checksum mismatch or a hostile length header leaves the
@@ -227,12 +239,25 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       continue;
     }
 
+    // Sample-profile mode: stamp a server-minted trace id on every Nth
+    // otherwise-untraced request, so span timelines and slow-op dumps
+    // exist without client cooperation. Client-stamped ids win.
+    if (kTraceEnabled && trace_id == 0 && cfg_.trace_sample_every > 0 &&
+        sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+                cfg_.trace_sample_every ==
+            0) {
+      trace_id = TraceContext::NewTraceId();
+    }
+
     // Admission control — decided here, before anything queues, so
     // overload turns into immediate Busy responses while the backlog
     // (and therefore accepted-request latency) stays bounded.
     const char* busy_reason = nullptr;
     bool enqueued = false;
     uint64_t enqueue_ns = 0;
+    // Admission engage/disengage edge, detected under mu_ but emitted
+    // outside it (the event log does file I/O).
+    int admission_edge = 0;
     {
       std::lock_guard<std::mutex> g(mu_);
       if (stopping_.load(std::memory_order_relaxed) || session->closing) {
@@ -240,6 +265,10 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
       }
       if (queued_ >= cfg_.max_queue_depth) {
         busy_reason = "server overloaded: job queue full";
+        if (!admission_engaged_) {
+          admission_engaged_ = true;
+          admission_edge = 1;
+        }
       } else if (session->pending.size() >= cfg_.max_inflight_per_session) {
         busy_reason = "session pipeline full";
       } else {
@@ -262,7 +291,19 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
           runq_.push_back(session);
         }
         enqueued = true;
+        if (admission_engaged_) {
+          admission_engaged_ = false;
+          admission_edge = -1;
+        }
       }
+    }
+    if (admission_edge == 1) {
+      db_->event_log().Emit(
+          EventSeverity::kWarn, "server", "admission_engaged",
+          "\"queue_depth\":" + std::to_string(cfg_.max_queue_depth));
+    } else if (admission_edge == -1) {
+      db_->event_log().Emit(EventSeverity::kInfo, "server",
+                            "admission_disengaged");
     }
     if (enqueued) {
       // Frame arrival -> admitted to the queue (header parse + the
@@ -292,7 +333,12 @@ void Server::ReaderLoop(std::shared_ptr<Session> session) {
   }
 }
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(uint32_t index) {
+  // Busy-scoped heartbeat: a worker parked on work_cv_ is healthy;
+  // request execution (engine time, fsyncs included) is the monitored
+  // window. Local shared_ptr → unregisters when the pool drains.
+  std::shared_ptr<Heartbeat> hb =
+      db_->health().Register("server.worker." + std::to_string(index));
   for (;;) {
     std::shared_ptr<Session> session;
     Request req;
@@ -332,6 +378,7 @@ void Server::WorkerLoop() {
     {
       // Propagate the request's trace id to everything this worker
       // calls into (commit pipeline, logs) for the request's duration.
+      HeartbeatWorkScope work(hb.get());
       TraceContext::Scope trace_scope(req.trace_id);
       LSTORE_TRACE(h_request_ns_);
       HandleRequest(session.get(), req);
@@ -409,6 +456,7 @@ const char* OpName(wire::Op op) {
     case wire::Op::kQuery: return "query";
     case wire::Op::kMetrics: return "metrics";
     case wire::Op::kTrace: return "trace";
+    case wire::Op::kHealth: return "health";
   }
   return "unknown";
 }
@@ -675,6 +723,29 @@ Status Server::Execute(Session* session, wire::Op op, wire::Reader* in,
     case wire::Op::kTrace:
       wire::PutString(resp, db_->DumpTrace());
       return Status::OK();
+
+    case wire::Op::kHealth: {
+      HealthReport report = db_->Health();
+      wire::PutU32(resp, static_cast<uint32_t>(report.actors.size()));
+      for (const ActorHealth& a : report.actors) {
+        wire::PutString(resp, a.name);
+        wire::PutU8(resp, static_cast<uint8_t>(a.verdict));
+        wire::PutU8(resp, a.busy ? 1 : 0);
+        wire::PutU64(resp, a.since_beat_ms);
+        wire::PutU64(resp, a.beats);
+        wire::PutU64(resp, a.slow_ms);
+        wire::PutU64(resp, a.stall_ms);
+      }
+      wire::PutU32(resp, static_cast<uint32_t>(report.recent_events.size()));
+      for (const Event& e : report.recent_events) {
+        wire::PutU64(resp, e.ts_ms);
+        wire::PutU8(resp, static_cast<uint8_t>(e.severity));
+        wire::PutString(resp, e.actor);
+        wire::PutString(resp, e.kind);
+        wire::PutString(resp, e.fields);
+      }
+      return Status::OK();
+    }
   }
   return Status::InvalidArgument("unknown opcode");
 }

@@ -86,6 +86,12 @@ struct ServerConfig {
   /// UINT32_MAX = leave the shared pool alone.
   uint32_t scan_threads = 0;
 
+  /// Sample-profile mode: mint a server-side trace id on every Nth
+  /// un-flagged request (0 = off), so a fleet gets span timelines and
+  /// slow-op dumps without any client stamping ids. Client-stamped
+  /// requests keep their own id and do not consume a sample slot.
+  uint64_t trace_sample_every = 0;
+
   /// Test hook: stall each request this long before executing, so
   /// tests can fill the queue deterministically and prove Busy.
   uint64_t test_delay_us = 0;
@@ -155,7 +161,7 @@ class Server {
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Session> session);
-  void WorkerLoop();
+  void WorkerLoop(uint32_t index);
 
   /// Decode and execute one request, writing its response.
   void HandleRequest(Session* session, const Request& req);
@@ -191,6 +197,11 @@ class Server {
   uint64_t next_session_id_ = 1;
   uint32_t reader_threads_ = 0;  ///< live (detached) reader threads
   uint32_t queued_ = 0;          ///< total pending requests (admission)
+  bool admission_engaged_ = false;  ///< queue-full Busy mode (event edge)
+
+  /// Round-robin counter for trace_sample_every (all readers share it
+  /// so the sampling rate is global, not per-connection).
+  std::atomic<uint64_t> sample_counter_{0};
 
   // Registry handles (owned by db_->metrics(); valid for db_'s life).
   Counter* m_accepted_ = nullptr;

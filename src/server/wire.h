@@ -81,6 +81,7 @@ enum class Op : uint8_t {
   kQuery = 16,        ///< table, kind, col, range, as_of, filters
   kMetrics = 17,      ///< -> Prometheus text exposition
   kTrace = 18,        ///< -> flight recorder as Chrome trace-event JSON
+  kHealth = 19,       ///< -> actor health verdicts + recent events
 };
 
 /// High bit of the request op byte: a u64 trace id follows the op.

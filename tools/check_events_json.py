@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a structured engine event log (<dir>/events.log).
+
+Used by CI after the metrics_tour example runs:
+
+    tools/check_events_json.py "${TMPDIR:-/tmp}/lstore_metrics_tour/events.log"
+
+With no path argument, reads the log from stdin.
+
+Each line must be one flat JSON object with the documented schema
+(src/obs/event_log.h):
+
+  - ts_ms: non-negative integer (wall-clock milliseconds)
+  - severity: one of "info" | "warn" | "error"
+  - actor: non-empty string (emitting subsystem)
+  - kind: non-empty string (event kind)
+  - any extra keys are emitter fields (free-form, but must be valid JSON
+    by virtue of the line parsing)
+
+Exits 0 with a summary on success, 1 with the offending line otherwise.
+"""
+
+import json
+import sys
+
+SEVERITIES = ("info", "warn", "error")
+
+
+def fail(lineno, line, why):
+    print(f"check_events_json: line {lineno}: {why}: {line!r}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [events.log]", file=sys.stderr)
+        sys.exit(2)
+    if len(sys.argv) == 2:
+        try:
+            stream = open(sys.argv[1], "r", encoding="utf-8")
+        except OSError as e:
+            print(f"check_events_json: {e}", file=sys.stderr)
+            sys.exit(1)
+    else:
+        stream = sys.stdin
+
+    events = 0
+    kinds = {}
+    last_ts = None
+    for lineno, raw in enumerate(stream, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            fail(lineno, line, "not valid JSON")
+        if not isinstance(obj, dict):
+            fail(lineno, line, "not a JSON object")
+        ts = obj.get("ts_ms")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            fail(lineno, line, "ts_ms must be a non-negative integer")
+        sev = obj.get("severity")
+        if sev not in SEVERITIES:
+            fail(lineno, line, f"severity must be one of {SEVERITIES}")
+        for key in ("actor", "kind"):
+            v = obj.get(key)
+            if not isinstance(v, str) or not v:
+                fail(lineno, line, f"{key} must be a non-empty string")
+        # Append-only log: timestamps never run backwards by more than
+        # clock-adjustment noise (allow 1s of slop for NTP steps).
+        if last_ts is not None and ts + 1000 < last_ts:
+            fail(lineno, line, "ts_ms runs backwards")
+        last_ts = ts
+        kinds[obj["kind"]] = kinds.get(obj["kind"], 0) + 1
+        events += 1
+
+    if events == 0:
+        print("check_events_json: no events", file=sys.stderr)
+        sys.exit(1)
+    summary = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+    print(f"check_events_json: OK ({events} events: {summary})")
+
+
+if __name__ == "__main__":
+    main()

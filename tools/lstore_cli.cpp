@@ -3,7 +3,11 @@
 // server.
 //
 //   lstore_cli serve <dir|:memory:> [--port P] [--workers N]
-//              [--queue N] [--inflight N]     start a server, block
+//              [--queue N] [--inflight N] [--sample N]
+//                                             start a server, block
+//                                             (--sample N = server-
+//                                             minted trace id on every
+//                                             Nth request)
 //   lstore_cli [--host H] [--port P] <command> [args]
 //
 // Client commands:
@@ -18,6 +22,10 @@
 //   sum <table> <col>                 SUM(col) + visible rows
 //   count <table>                     COUNT(*)
 //   metrics                           Prometheus exposition dump
+//   status [--json]                   health report: per-actor
+//                                     watchdog verdicts + recent
+//                                     engine events (human table, or
+//                                     Database::Health() JSON)
 //   trace [--out FILE]                flight recorder as Chrome
 //                                     trace-event JSON (load into
 //                                     chrome://tracing or Perfetto);
@@ -57,10 +65,10 @@ void OnSignal(int) { g_stop = 1; }
 int Usage() {
   std::fprintf(stderr,
                "usage: lstore_cli serve <dir|:memory:> [--port P] "
-               "[--workers N] [--queue N] [--inflight N]\n"
+               "[--workers N] [--queue N] [--inflight N] [--sample N]\n"
                "       lstore_cli [--host H] [--port P] "
                "ping|tables|create|put|get|del|load|sum|count|metrics|"
-               "trace|bench ...\n");
+               "status|trace|bench ...\n");
   return 2;
 }
 
@@ -85,6 +93,8 @@ int Serve(std::vector<std::string> args) {
     else if (args[i] == "--queue") cfg.max_queue_depth = static_cast<uint32_t>(v);
     else if (args[i] == "--inflight") {
       cfg.max_inflight_per_session = static_cast<uint32_t>(v);
+    } else if (args[i] == "--sample") {
+      cfg.trace_sample_every = v;  // server-minted trace id every Nth req
     } else {
       return Usage();
     }
@@ -305,6 +315,43 @@ int main(int argc, char** argv) {
     s = client.Metrics(&text);
     if (!s.ok()) return Fail("metrics", s);
     std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "status") {
+    bool json = false;
+    for (const auto& a : rest) {
+      if (a == "--json") json = true;
+      else return Usage();
+    }
+    HealthReport report;
+    s = client.Health(&report);
+    if (!s.ok()) return Fail("status", s);
+    if (json) {
+      std::printf("%s\n", RenderHealthJson(report).c_str());
+      return 0;
+    }
+    std::printf("actors: %llu healthy, %llu slow, %llu stalled\n",
+                static_cast<unsigned long long>(report.healthy),
+                static_cast<unsigned long long>(report.slow),
+                static_cast<unsigned long long>(report.stalled));
+    std::printf("%-28s %-8s %-5s %12s %10s\n", "ACTOR", "VERDICT", "BUSY",
+                "SINCE_BEAT", "BEATS");
+    for (const ActorHealth& a : report.actors) {
+      std::printf("%-28s %-8s %-5s %10llums %10llu\n", a.name.c_str(),
+                  HealthVerdictName(a.verdict), a.busy ? "yes" : "no",
+                  static_cast<unsigned long long>(a.since_beat_ms),
+                  static_cast<unsigned long long>(a.beats));
+    }
+    if (!report.recent_events.empty()) {
+      std::printf("\nrecent events:\n");
+      for (const Event& e : report.recent_events) {
+        std::printf("  %llu %-5s %-14s %s%s%s\n",
+                    static_cast<unsigned long long>(e.ts_ms),
+                    EventSeverityName(e.severity), e.actor.c_str(),
+                    e.kind.c_str(), e.fields.empty() ? "" : " ",
+                    e.fields.c_str());
+      }
+    }
     return 0;
   }
   if (cmd == "trace") {
